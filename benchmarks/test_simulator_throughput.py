@@ -1,0 +1,35 @@
+"""Simulator and pipeline throughput (not a paper figure).
+
+Times the substrate itself: workload generation, the discrete-event
+engine, and trace encoding, on a small fixed scenario so the numbers
+are comparable across machines and revisions.
+"""
+
+from repro.trace import encode_cell, validate_trace
+from repro.workload import small_test_scenario
+
+
+def test_simulate_small_cell(benchmark):
+    def build_and_run():
+        return small_test_scenario(seed=5, machines_per_cell=24,
+                                   horizon_hours=6.0).run()
+
+    result = benchmark.pedantic(build_and_run, rounds=3, iterations=1,
+                                warmup_rounds=0)
+    assert result.counters.jobs_submitted > 50
+
+
+def test_encode_trace(benchmark):
+    result = small_test_scenario(seed=5, machines_per_cell=24,
+                                 horizon_hours=6.0).run()
+    trace = benchmark.pedantic(encode_cell, args=(result,), rounds=3,
+                               iterations=1, warmup_rounds=0)
+    assert len(trace.instance_usage) > 0
+
+
+def test_validate_trace(benchmark):
+    trace = encode_cell(small_test_scenario(seed=5, machines_per_cell=24,
+                                            horizon_hours=6.0).run())
+    violations = benchmark.pedantic(validate_trace, args=(trace,), rounds=3,
+                                    iterations=1, warmup_rounds=0)
+    assert violations == []

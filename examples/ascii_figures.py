@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Draw the paper's key figures as terminal charts.
+
+Simulates one 2019-style cell and one 2011-style cell, then renders:
+
+* figure 2  — stacked hourly usage by tier,
+* figure 6  — machine-utilization CCDFs,
+* figure 12 — the log-log CCDF of per-job resource-hours,
+* figure 3  — usage-by-tier bars.
+
+    python examples/ascii_figures.py [seed]
+"""
+
+import sys
+
+from repro.analysis import consumption, machine_util, utilization
+from repro.plot import bar_chart, ccdf_chart, stacked_series_chart
+from repro.trace import encode_cell
+from repro.workload import small_test_scenario
+
+
+def main(seed: int = 5) -> None:
+    print("simulating one 2019 and one 2011 cell...")
+    trace_2019 = encode_cell(small_test_scenario(
+        seed=seed, era="2019", machines_per_cell=40, horizon_hours=24.0,
+        arrival_scale=0.02).run())
+    trace_2011 = encode_cell(small_test_scenario(
+        seed=seed, era="2011", machines_per_cell=40, horizon_hours=24.0,
+        arrival_scale=0.02).run())
+
+    print("\n--- figure 2 (2019): hourly CPU usage by tier, stacked ---")
+    series = utilization.usage_timeseries(trace_2019, "cpu")
+    print(stacked_series_chart(
+        {tier: values for tier, values in series.items() if values.any()},
+        width=64, height=12,
+        title="fraction of cell CPU capacity used, by tier"))
+
+    print("\n--- figure 6: machine CPU utilization CCDF ---")
+    print(ccdf_chart({
+        "2019": machine_util.machine_utilization_ccdf(trace_2019, "cpu"),
+        "2011": machine_util.machine_utilization_ccdf(trace_2011, "cpu"),
+    }, width=64, height=12, title="Pr(machine CPU utilization > x)"))
+
+    print("\n--- figure 12: per-job NCU-hours CCDF (log-log) ---")
+    print(ccdf_chart({
+        "2019": consumption.usage_ccdf([trace_2019], "cpu"),
+        "2011": consumption.usage_ccdf([trace_2011], "cpu"),
+    }, logx=True, logy=True, width=64, height=14,
+        title="the heavy tail: a straight line on log-log axes"))
+
+    print("\n--- figure 3: average usage by tier (2019 cell) ---")
+    fractions = utilization.usage_by_cell([trace_2019], "cpu")[trace_2019.cell]
+    print(bar_chart({tier: value for tier, value in fractions.items()},
+                    width=48, title="fraction of CPU capacity"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The paper, end to end: 2011 vs 2019 longitudinal comparison.
+
+Simulates the 2011 cell and the eight 2019 cells (a-h), then prints
+every figure and table of the paper as text via the report driver.
+
+    python examples/longitudinal_comparison.py [--cells a,b,c]
+        [--machines N] [--hours H] [--scale S] [--out FILE]
+
+Defaults are laptop-scale (a few minutes); raise --machines/--hours for
+heavier runs.  The same driver backs the benchmark harness, so this is
+also how EXPERIMENTS.md's measured numbers were produced.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.report import full_report
+from repro.trace import encode_cell
+from repro.workload import scenario_2011, scenarios_2019
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cells", default="a,b,c,d,e,f,g,h",
+                        help="comma-separated 2019 cells to simulate")
+    parser.add_argument("--machines", type=int, default=100)
+    parser.add_argument("--hours", type=float, default=48.0)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="arrival-rate scale vs the real clusters")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    cells = [c.strip() for c in args.cells.split(",") if c.strip()]
+
+    t0 = time.time()
+    print(f"simulating 2011 cell ({args.machines} machines, {args.hours}h)...",
+          flush=True)
+    trace_2011 = encode_cell(scenario_2011(
+        seed=args.seed, machines_per_cell=args.machines,
+        horizon_hours=args.hours, arrival_scale=args.scale,
+    ).run())
+
+    traces_2019 = []
+    for scenario in scenarios_2019(seed=args.seed, machines_per_cell=args.machines,
+                                   horizon_hours=args.hours,
+                                   arrival_scale=args.scale, cells=cells):
+        print(f"simulating 2019 cell {scenario.name}...", flush=True)
+        traces_2019.append(encode_cell(scenario.run()))
+    print(f"simulation took {time.time() - t0:.0f}s")
+
+    text = full_report([trace_2011], traces_2019)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

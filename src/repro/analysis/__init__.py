@@ -1,0 +1,56 @@
+"""The paper's analyses, one module per figure/table.
+
+Every function here consumes :class:`~repro.trace.TraceDataset` objects
+(one per cell) and returns plain tables/arrays — the same quantities the
+paper plots.  The mapping to the paper:
+
+==================  ==========================================
+Module              Paper content
+==================  ==========================================
+``summary``         Table 1 (trace comparison)
+``machines``        Figure 1 (machine shapes)
+``utilization``     Figures 2 & 3 (usage by tier)
+``allocation``      Figures 4 & 5 (allocation / over-commit)
+``machine_util``    Figure 6 (machine utilization CCDFs)
+``transitions``     Figure 7 (state transition counts)
+``submission``      Figures 8 & 9 (job/task submission rates)
+``sched_delay``     Figure 10 (scheduling delay CCDFs)
+``tasks_per_job``   Figure 11 (tasks per job by tier)
+``consumption``     Table 2 & Figure 12 (resource-hours, Pareto)
+``correlation``     Figure 13 (CPU-memory correlation)
+``autoscaling``     Figure 14 (Autopilot peak slack)
+``allocsets``       Section 5.1 (alloc-set statistics)
+``terminations``    Section 5.2 (kill/evict analysis)
+``report``          renders everything as text
+==================  ==========================================
+"""
+
+from repro.analysis import (  # noqa: F401
+    allocation,
+    allocsets,
+    autoscaling,
+    batch_queue,
+    common,
+    constraints,
+    consumption,
+    correlation,
+    diurnal,
+    machine_util,
+    machines,
+    report,
+    sched_delay,
+    submission,
+    summary,
+    tasks_per_job,
+    terminations,
+    users,
+    transitions,
+    utilization,
+)
+
+__all__ = [
+    "allocation", "allocsets", "autoscaling", "batch_queue", "common", "constraints", "consumption",
+    "correlation", "diurnal", "machine_util", "machines", "report", "sched_delay",
+    "submission", "summary", "tasks_per_job", "terminations", "transitions", "users",
+    "utilization",
+]

@@ -1,0 +1,119 @@
+"""Batch-queue behavior (paper sections 3 and 6.3's queued-state note).
+
+Figure 10 deliberately measures scheduling delay from the *ready* state,
+excluding the batch scheduler's deliberate queueing; this module
+measures what was excluded: how long best-effort-batch jobs wait in the
+QUEUED state, how many jobs queue at all, and the queue depth over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.stats.ccdf import Ccdf, empirical_ccdf
+from repro.trace.dataset import TraceDataset
+from repro.util.timeutil import HOUR_SECONDS
+
+
+def queue_waits(trace: TraceDataset) -> np.ndarray:
+    """QUEUE -> ENABLE wait per batch-queued collection, seconds.
+
+    Collections still queued at the horizon are censored (excluded),
+    like every duration statistic over a finite trace window.
+    """
+    ce = trace.collection_events
+    queued: Dict[int, float] = {}
+    waits = []
+    ids = ce.column("collection_id").values
+    types = ce.column("type").values
+    times = ce.column("time").values
+    for i in range(len(ce)):
+        cid = int(ids[i])
+        if types[i] == "QUEUE":
+            queued[cid] = float(times[i])
+        elif types[i] == "ENABLE" and cid in queued:
+            waits.append(float(times[i]) - queued.pop(cid))
+    return np.asarray(waits)
+
+
+def queue_wait_ccdf(traces: Sequence[TraceDataset]) -> Ccdf:
+    """Pooled CCDF of batch-queue waits across cells."""
+    pooled = [queue_waits(t) for t in traces]
+    pooled = [w for w in pooled if w.size]
+    if not pooled:
+        raise ValueError("no batch-queued collections in these traces")
+    return empirical_ccdf(np.concatenate(pooled))
+
+
+def queue_depth_series(trace: TraceDataset) -> np.ndarray:
+    """Number of collections sitting in the queue, sampled hourly."""
+    ce = trace.collection_events
+    n_hours = int(np.ceil(trace.horizon / HOUR_SECONDS))
+    delta = np.zeros(n_hours + 1)
+    ids = ce.column("collection_id").values
+    types = ce.column("type").values
+    times = ce.column("time").values
+    enter: Dict[int, float] = {}
+    for i in range(len(ce)):
+        cid = int(ids[i])
+        if types[i] == "QUEUE":
+            enter[cid] = float(times[i])
+        elif cid in enter and types[i] in ("ENABLE", "KILL", "FINISH",
+                                           "FAIL", "EVICT"):
+            start_h = int(enter.pop(cid) / HOUR_SECONDS)
+            end_h = min(int(times[i] / HOUR_SECONDS), n_hours - 1)
+            delta[start_h] += 1
+            delta[end_h + 1] -= 1
+    # Still-queued collections occupy the queue to the horizon.
+    for t in enter.values():
+        delta[int(t / HOUR_SECONDS)] += 1
+    return np.cumsum(delta[:n_hours])
+
+
+@dataclass(frozen=True)
+class BatchQueueReport:
+    """Headline batch-queue statistics for a set of cells."""
+
+    queued_fraction_of_beb_jobs: float
+    median_wait_seconds: float
+    p90_wait_seconds: float
+    max_queue_depth: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "beb jobs that waited in the queue": self.queued_fraction_of_beb_jobs,
+            "median queue wait (s)": self.median_wait_seconds,
+            "90%ile queue wait (s)": self.p90_wait_seconds,
+            "max queue depth (collections)": self.max_queue_depth,
+        }
+
+
+def batch_queue_report(traces: Sequence[TraceDataset]) -> BatchQueueReport:
+    n_beb = 0
+    n_queued = 0
+    waits = []
+    depth = 0.0
+    for trace in traces:
+        ce = trace.collection_events
+        types = ce.column("type").values
+        tiers = ce.column("tier").values
+        kinds = ce.column("collection_type").values
+        n_beb += int(((types == "SUBMIT") & (tiers == "beb")
+                      & (kinds == "job")).sum())
+        n_queued += int((types == "QUEUE").sum())
+        w = queue_waits(trace)
+        if w.size:
+            waits.append(w)
+        series = queue_depth_series(trace)
+        if series.size:
+            depth = max(depth, float(series.max()))
+    pooled = np.concatenate(waits) if waits else np.zeros(1)
+    return BatchQueueReport(
+        queued_fraction_of_beb_jobs=n_queued / n_beb if n_beb else 0.0,
+        median_wait_seconds=float(np.median(pooled)),
+        p90_wait_seconds=float(np.percentile(pooled, 90)),
+        max_queue_depth=depth,
+    )

@@ -1,0 +1,106 @@
+"""Placement-constraint analysis (a new 2019 trace feature, paper §1/§3).
+
+The 2019 trace exposes machine-attribute placement constraints.  This
+module measures their prevalence, verifies satisfaction (every scheduled
+task of a constrained job runs on a matching platform), and quantifies
+their scheduling cost: constrained jobs can only use a slice of the
+cell, so they queue longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.sched_delay import scheduling_delays
+from repro.trace.dataset import TraceDataset
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Prevalence, satisfaction, and delay impact of constraints."""
+
+    constrained_job_fraction: float
+    constraints_by_platform: Dict[str, int]
+    satisfied_fraction: float
+    median_delay_constrained: float
+    median_delay_unconstrained: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "jobs with a placement constraint": self.constrained_job_fraction,
+            "constrained placements satisfied": self.satisfied_fraction,
+            "median delay, constrained (s)": self.median_delay_constrained,
+            "median delay, unconstrained (s)": self.median_delay_unconstrained,
+        }
+
+
+def _constraints_of(trace: TraceDataset) -> Dict[int, str]:
+    ce = trace.collection_events
+    out: Dict[int, str] = {}
+    ids = ce.column("collection_id").values
+    types = ce.column("type").values
+    constraints = ce.column("constraint").values
+    kinds = ce.column("collection_type").values
+    for i in range(len(ce)):
+        if types[i] == "SUBMIT" and kinds[i] == "job" and constraints[i]:
+            out[int(ids[i])] = constraints[i]
+    return out
+
+
+def constraint_report(traces: Sequence[TraceDataset]) -> ConstraintReport:
+    n_jobs = 0
+    by_platform: Dict[str, int] = {}
+    satisfied = 0
+    total_placements = 0
+    delays_constrained: List[float] = []
+    delays_unconstrained: List[float] = []
+
+    for trace in traces:
+        constrained = _constraints_of(trace)
+        ce = trace.collection_events
+        submits = ((ce.column("type").values == "SUBMIT")
+                   & (ce.column("collection_type").values == "job"))
+        n_jobs += int(submits.sum())
+        for platform in constrained.values():
+            by_platform[platform] = by_platform.get(platform, 0) + 1
+
+        attrs = trace.machine_attributes
+        platform_of = dict(zip(attrs.column("machine_id").values.tolist(),
+                               attrs.column("platform").values.tolist()))
+        ie = trace.instance_events
+        ids = ie.column("collection_id").values
+        types = ie.column("type").values
+        machines = ie.column("machine_id").values
+        for i in range(len(ie)):
+            if types[i] != "SCHEDULE":
+                continue
+            required = constrained.get(int(ids[i]))
+            if required is None:
+                continue
+            total_placements += 1
+            if platform_of.get(int(machines[i])) == required:
+                satisfied += 1
+
+        delays = scheduling_delays(trace)
+        d_ids = delays.column("collection_id").values
+        d_vals = delays.column("delay").values
+        for cid, delay in zip(d_ids, d_vals):
+            if int(cid) in constrained:
+                delays_constrained.append(float(delay))
+            else:
+                delays_unconstrained.append(float(delay))
+
+    n_constrained = sum(by_platform.values())
+    return ConstraintReport(
+        constrained_job_fraction=n_constrained / n_jobs if n_jobs else 0.0,
+        constraints_by_platform=by_platform,
+        satisfied_fraction=(satisfied / total_placements
+                            if total_placements else 1.0),
+        median_delay_constrained=(float(np.median(delays_constrained))
+                                  if delays_constrained else 0.0),
+        median_delay_unconstrained=(float(np.median(delays_unconstrained))
+                                    if delays_unconstrained else 0.0),
+    )

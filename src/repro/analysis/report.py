@@ -1,0 +1,312 @@
+"""Render every paper figure/table as text from a pair of trace sets.
+
+``full_report`` is what the quickstart example and the benchmark harness
+print; each section mirrors one paper artifact so paper-vs-measured
+comparison (EXPERIMENTS.md) is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import (
+    allocation,
+    allocsets,
+    autoscaling,
+    batch_queue,
+    constraints,
+    consumption,
+    diurnal,
+    correlation,
+    machine_util,
+    machines,
+    sched_delay,
+    submission,
+    summary,
+    tasks_per_job,
+    terminations,
+    transitions,
+    users,
+    utilization,
+)
+from repro.analysis.common import TIER_ORDER
+from repro.trace.dataset import TraceDataset
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _section(out: io.StringIO, title: str) -> None:
+    out.write(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n")
+
+
+def render_table1(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Table 1: trace comparison")
+    columns = summary.table1(traces_2011, traces_2019)
+    keys = list(columns[0].keys())
+    for key in keys:
+        out.write(f"{key:22s} {_fmt(columns[0][key]):>16s} {_fmt(columns[1][key]):>16s}\n")
+
+
+def render_fig1(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Figure 1: machine shapes (top 12 by frequency)")
+    for p in machines.machine_shapes(traces_2019)[:12]:
+        out.write(f"  cpu={p.cpu:.2f} mem={p.mem:.2f}  machines={p.count}\n")
+
+
+def _render_tier_series(out: io.StringIO, series: Dict[str, np.ndarray],
+                        step_hours: int = 6) -> None:
+    n = max((len(v) for v in series.values()), default=0)
+    out.write("  hour   " + "  ".join(f"{t:>6s}" for t in TIER_ORDER) + "   total\n")
+    for h in range(0, n, step_hours):
+        values = [float(series.get(t, np.zeros(n))[h]) for t in TIER_ORDER]
+        out.write(f"  {h:4d}   " + "  ".join(f"{v:6.3f}" for v in values)
+                  + f"   {sum(values):5.3f}\n")
+
+
+def render_fig2(out: io.StringIO, traces_2011, traces_2019) -> None:
+    for resource in ("cpu", "mem"):
+        _section(out, f"Figure 2: hourly {resource} usage by tier (fraction of capacity)")
+        out.write("2011:\n")
+        _render_tier_series(out, utilization.usage_timeseries(traces_2011[0], resource))
+        out.write("2019 (mean of cells):\n")
+        _render_tier_series(out, utilization.mean_usage_timeseries(traces_2019, resource))
+
+
+def render_fig3(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 3: average usage by tier per cell")
+    for resource in ("cpu", "mem"):
+        out.write(f"[{resource}]\n")
+        cells = {"2011": utilization.usage_by_cell(traces_2011, resource)["2011"]}
+        cells.update(utilization.usage_by_cell(traces_2019, resource))
+        for cell, fractions in cells.items():
+            parts = "  ".join(f"{t}={fractions.get(t, 0.0):.3f}" for t in TIER_ORDER)
+            out.write(f"  cell {cell:>4s}: {parts}  total={sum(fractions.values()):.3f}\n")
+
+
+def render_fig4(out: io.StringIO, traces_2011, traces_2019) -> None:
+    for resource in ("cpu", "mem"):
+        _section(out, f"Figure 4: hourly {resource} allocation by tier (fraction of capacity)")
+        out.write("2011:\n")
+        _render_tier_series(out, allocation.allocation_timeseries(traces_2011[0], resource))
+        out.write("2019 (mean of cells):\n")
+        _render_tier_series(out, allocation.mean_allocation_timeseries(traces_2019, resource))
+
+
+def render_fig5(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 5: average allocation by tier per cell")
+    for resource in ("cpu", "mem"):
+        out.write(f"[{resource}]\n")
+        cells = {"2011": allocation.allocation_by_cell(traces_2011, resource)["2011"]}
+        cells.update(allocation.allocation_by_cell(traces_2019, resource))
+        for cell, fractions in cells.items():
+            parts = "  ".join(f"{t}={fractions.get(t, 0.0):.3f}" for t in TIER_ORDER)
+            out.write(f"  cell {cell:>4s}: {parts}  total={sum(fractions.values()):.3f}\n")
+
+
+def render_fig6(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 6: machine utilization CCDF snapshot (same local time)")
+    grid = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    for resource in ("cpu", "mem"):
+        out.write(f"[{resource}]  Pr(util > x) at x = {grid}\n")
+        for trace in list(traces_2019) + list(traces_2011):
+            ccdf = machine_util.machine_utilization_ccdf(trace, resource=resource)
+            values = "  ".join(f"{ccdf.at(x):5.2f}" for x in grid)
+            out.write(f"  {trace.cell:>4s}: {values}\n")
+
+
+def render_fig7(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Figure 7: state transitions (cell g when present)")
+    by_name = {t.cell: t for t in traces_2019}
+    trace = by_name.get("g", traces_2019[0])
+    out.write(f"cell {trace.cell}: (from -> to, collections, instances)\n")
+    for src, dst, n_coll, n_inst in transitions.transition_table(trace):
+        out.write(f"  {src:>14s} -> {dst:<14s}  coll={n_coll:8d}  inst={n_inst:9d}\n")
+
+
+def render_fig8(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 8: job submission rate (jobs/hour)")
+    s11 = submission.summarize_submissions(traces_2011[0])
+    out.write(f"  2011:   mean={s11.mean_jobs_per_hour:.1f} median={s11.median_jobs_per_hour:.1f}\n")
+    for trace in traces_2019:
+        s = submission.summarize_submissions(trace)
+        out.write(f"  2019 {trace.cell}: mean={s.mean_jobs_per_hour:.1f} "
+                  f"median={s.median_jobs_per_hour:.1f}\n")
+    growth = submission.growth_factors(traces_2011[0], traces_2019)
+    out.write(f"  growth: mean={growth['mean_job_rate_growth']:.2f}x "
+              f"median={growth['median_job_rate_growth']:.2f}x  (paper: 3.5x / 3.7x)\n")
+
+
+def render_fig9(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 9: task submission rate (tasks/hour), new vs all")
+    growth = submission.growth_factors(traces_2011[0], traces_2019)
+    s11 = submission.summarize_submissions(traces_2011[0])
+    out.write(f"  2011: median new={s11.median_new_tasks_per_hour:.0f} "
+              f"all={s11.median_all_tasks_per_hour:.0f} "
+              f"resubmit:new={s11.resubmit_to_new_ratio:.2f} (paper 0.66)\n")
+    for trace in traces_2019:
+        s = submission.summarize_submissions(trace)
+        out.write(f"  2019 {trace.cell}: median new={s.median_new_tasks_per_hour:.0f} "
+                  f"all={s.median_all_tasks_per_hour:.0f} "
+                  f"resubmit:new={s.resubmit_to_new_ratio:.2f}\n")
+    out.write(f"  all-task median growth: "
+              f"{growth['median_all_task_rate_growth']:.2f}x (paper ~3.6x); "
+              f"2019 resubmit:new mean {growth['resubmit_ratio_2019']:.2f} (paper 2.26)\n")
+
+
+def render_fig10(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 10: job scheduling delay CCDF")
+    grid = [1, 2, 5, 10, 20, 30, 60]
+    out.write(f"  Pr(delay > x) at x seconds = {grid}\n")
+    for label, traces in (("2011", traces_2011), ("2019", traces_2019)):
+        pooled = sched_delay.delay_ccdf_by_tier(traces)
+        for tier in TIER_ORDER:
+            if tier not in pooled:
+                continue
+            values = "  ".join(f"{pooled[tier].at(x):5.2f}" for x in grid)
+            out.write(f"  {label} {tier:>5s}: {values}\n")
+    med11 = sched_delay.median_delay(traces_2011[0])
+    med19 = np.mean([sched_delay.median_delay(t) for t in traces_2019])
+    out.write(f"  medians: 2011={med11:.1f}s  2019={med19:.1f}s "
+              "(paper: 2019 median decreased)\n")
+
+
+def render_fig11(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Figure 11: tasks per job by tier")
+    pct = tasks_per_job.width_percentiles(traces_2019, (80, 95))
+    for tier in TIER_ORDER:
+        if tier not in pct:
+            continue
+        out.write(f"  {tier:>5s}: 80%ile={pct[tier][80]:.0f}  95%ile={pct[tier][95]:.0f}\n")
+    out.write("  (paper 95%iles: beb=498 mid=67 free=21 prod=3)\n")
+
+
+def render_table2(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Table 2: per-job resource-hour distribution")
+    reports = consumption.table2(traces_2011, traces_2019)
+    # Union of keys across reports (a scaled-down run may lack a Pareto
+    # fit for one era), preserving first-seen order.
+    keys: list = []
+    for rep in reports.values():
+        for key in rep.as_dict():
+            if key not in keys:
+                keys.append(key)
+    out.write(f"{'measure':28s}" + "".join(f"{n:>14s}" for n in reports) + "\n")
+    for key in keys:
+        row = f"{key:28s}"
+        for rep in reports.values():
+            value = rep.as_dict().get(key)
+            row += f"{_fmt(value) if value is not None else '-':>14s}"
+        out.write(row + "\n")
+
+
+def render_fig12(out: io.StringIO, traces_2011, traces_2019) -> None:
+    _section(out, "Figure 12: CCDF of per-job resource-hours (log-log)")
+    grid = [1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100]
+    out.write(f"  Pr(usage > x) at x = {grid}\n")
+    for label, traces in (("2011", traces_2011), ("2019", traces_2019)):
+        for resource in ("cpu", "mem"):
+            ccdf = consumption.usage_ccdf(traces, resource)
+            values = "  ".join(f"{ccdf.at(x):8.2e}" for x in grid)
+            out.write(f"  {label} {resource}: {values}\n")
+
+
+def render_fig13(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Figure 13: CPU vs memory consumption correlation")
+    rep = correlation.cpu_mem_correlation(traces_2019)
+    out.write(f"  jobs={rep.n_jobs}  buckets={len(rep.bucket_centers)}  "
+              f"Pearson r={rep.pearson_r:.3f} (paper 0.97)\n")
+    for c, m in list(zip(rep.bucket_centers, rep.median_nmu_hours))[:10]:
+        out.write(f"    {c:8.1f} NCU-h -> median {m:8.2f} NMU-h\n")
+
+
+def render_fig14(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Figure 14: peak NCU slack by autoscaling mode")
+    ccdfs = autoscaling.slack_ccdf_by_mode(traces_2019)
+    grid = [10, 20, 30, 40, 50, 60, 70, 80, 90]
+    out.write(f"  Pr(slack% > x) at x = {grid}\n")
+    for mode in autoscaling.MODES:
+        if mode not in ccdfs:
+            continue
+        values = "  ".join(f"{ccdfs[mode].at(x):5.2f}" for x in grid)
+        out.write(f"  {mode:>11s}: {values}\n")
+    slack = autoscaling.summarize_slack(traces_2019)
+    out.write(f"  median slack: {slack.median_slack}\n")
+
+
+def render_sec51(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Section 5.1: alloc sets")
+    rep = allocsets.alloc_set_report(traces_2019)
+    for key, value in rep.as_dict().items():
+        out.write(f"  {key:38s} {value:.3f}\n")
+
+
+def render_sec52(out: io.StringIO, traces_2019) -> None:
+    _section(out, "Section 5.2: terminations")
+    rep = terminations.termination_report(traces_2019)
+    for key, value in rep.as_dict().items():
+        out.write(f"  {key:42s} {value:.4g}\n")
+
+
+def render_extras(out: io.StringIO, traces_2011, traces_2019) -> None:
+    """Sections beyond the paper's figures: batch-queue waits, placement
+    constraints, user concentration, diurnal cycles."""
+    _section(out, "Extra: batch-queue waits (excluded from figure 10)")
+    try:
+        rep = batch_queue.batch_queue_report(traces_2019)
+        for key, value in rep.as_dict().items():
+            out.write(f"  {key:40s} {value:.4g}\n")
+    except ValueError as exc:
+        out.write(f"  (skipped: {exc})\n")
+
+    _section(out, "Extra: placement constraints (new 2019 trace feature)")
+    rep = constraints.constraint_report(traces_2019)
+    for key, value in rep.as_dict().items():
+        out.write(f"  {key:40s} {value:.4g}\n")
+
+    _section(out, "Extra: per-user concentration")
+    try:
+        rep = users.user_report(traces_2019)
+        for key, value in rep.as_dict().items():
+            out.write(f"  {key:40s} {value:.4g}\n")
+    except ValueError as exc:
+        out.write(f"  (skipped: {exc})\n")
+
+    _section(out, "Extra: diurnal cycle (section 4.1's timezone note)")
+    snap = diurnal.load_at_utc_hour(traces_2019, utc_hour=7.0)
+    out.write("  load at 07:00 UTC (midnight PDT):\n")
+    for cell, load in snap.load_by_cell.items():
+        local = snap.local_hour_by_cell[cell]
+        out.write(f"    cell {cell:>4s}: load={load:.3f} (local {local:4.1f}h)\n")
+
+
+def full_report(traces_2011: Sequence[TraceDataset],
+                traces_2019: Sequence[TraceDataset]) -> str:
+    """Every figure and table of the paper, as one text document."""
+    out = io.StringIO()
+    render_table1(out, traces_2011, traces_2019)
+    render_fig1(out, traces_2019)
+    render_fig2(out, traces_2011, traces_2019)
+    render_fig3(out, traces_2011, traces_2019)
+    render_fig4(out, traces_2011, traces_2019)
+    render_fig5(out, traces_2011, traces_2019)
+    render_fig6(out, traces_2011, traces_2019)
+    render_fig7(out, traces_2019)
+    render_fig8(out, traces_2011, traces_2019)
+    render_fig9(out, traces_2011, traces_2019)
+    render_fig10(out, traces_2011, traces_2019)
+    render_fig11(out, traces_2019)
+    render_table2(out, traces_2011, traces_2019)
+    render_fig12(out, traces_2011, traces_2019)
+    render_fig13(out, traces_2019)
+    render_fig14(out, traces_2019)
+    render_sec51(out, traces_2019)
+    render_sec52(out, traces_2019)
+    render_extras(out, traces_2011, traces_2019)
+    return out.getvalue()

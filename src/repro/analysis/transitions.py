@@ -1,0 +1,84 @@
+"""Collection/instance state-transition counts (paper figure 7).
+
+Figure 7 annotates the lifecycle state machine with how often each
+transition was exercised in cell g, noting that "common paths are many
+orders of magnitude more frequently exercised than the rarer ones".  We
+rebuild the diagram by replaying each instance's (and collection's)
+event sequence and counting state changes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.trace.dataset import TraceDataset
+
+#: State entered after each event type.
+_EVENT_TO_STATE = {
+    "SUBMIT": "PENDING",
+    "QUEUE": "QUEUED",
+    "ENABLE": "PENDING",
+    "SCHEDULE": "RUNNING",
+    "EVICT": "DEAD",    # instances are resubmitted afterwards
+    "FAIL": "DEAD",
+    "FINISH": "DEAD",
+    "KILL": "DEAD",
+    "UPDATE_RUNNING": "RUNNING",
+}
+
+Transition = Tuple[str, str]
+
+
+def _count_stream(ids: List[Tuple[int, ...]], events: List[str],
+                  times: List[float]) -> Counter:
+    """Count state transitions within each entity's time-ordered events."""
+    per_entity: Dict[Tuple[int, ...], List[Tuple[float, int, str]]] = defaultdict(list)
+    for seq, (key, event, t) in enumerate(zip(ids, events, times)):
+        per_entity[key].append((t, seq, event))
+    counts: Counter = Counter()
+    for entries in per_entity.values():
+        entries.sort()
+        state = "NONE"
+        for _, __, event in entries:
+            nxt = _EVENT_TO_STATE.get(event)
+            if nxt is None:
+                continue
+            # Terminal events name the cause, not just DEAD, so figure 7's
+            # per-cause arrows are reconstructible.  An evicted instance's
+            # follow-up SUBMIT produces the DEAD(evict) -> PENDING
+            # resubmission arc naturally.
+            label = nxt if nxt != "DEAD" else f"DEAD({event.lower()})"
+            if label != state:
+                counts[(state, label)] += 1
+            state = label
+    return counts
+
+
+def collection_transitions(trace: TraceDataset) -> Counter:
+    """Transition counts over collection lifecycles."""
+    ce = trace.collection_events
+    ids = [(int(i),) for i in ce.column("collection_id").values]
+    return _count_stream(ids, list(ce.column("type").values),
+                         list(ce.column("time").values))
+
+
+def instance_transitions(trace: TraceDataset) -> Counter:
+    """Transition counts over instance lifecycles (figure 7's bulk)."""
+    ie = trace.instance_events
+    ids = list(zip(ie.column("collection_id").values.tolist(),
+                   ie.column("instance_index").values.tolist()))
+    return _count_stream([tuple(i) for i in ids],
+                         list(ie.column("type").values),
+                         list(ie.column("time").values))
+
+
+def transition_table(trace: TraceDataset) -> List[Tuple[str, str, int, int]]:
+    """(from, to, collection_count, instance_count) rows, most common first."""
+    coll = collection_transitions(trace)
+    inst = instance_transitions(trace)
+    keys = set(coll) | set(inst)
+    rows = [(src, dst, coll.get((src, dst), 0), inst.get((src, dst), 0))
+            for src, dst in keys]
+    rows.sort(key=lambda r: -(r[2] + r[3]))
+    return [r for r in rows if r[2] + r[3] > 0]

@@ -1,0 +1,132 @@
+"""Command-line interface: simulate cells, validate traces, render reports.
+
+Installed as ``borg-repro``; also runnable as ``python -m repro.cli``.
+
+Subcommands
+-----------
+simulate
+    Simulate one or more cells and write their traces to a directory.
+validate
+    Run the section-9 invariant pipeline over a saved trace.
+report
+    Load saved traces (or simulate fresh ones) and print the full
+    paper-as-text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.analysis.report import full_report
+from repro.trace import encode_cell, load_trace, save_trace, validate_trace
+from repro.workload import scenario_2011, scenarios_2019
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machines", type=int, default=100,
+                        help="machines per cell (default 100)")
+    parser.add_argument("--hours", type=float, default=48.0,
+                        help="trace horizon in hours (default 48)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="arrival-rate scale vs the real clusters")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _simulate(args) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    cells: List[str] = [c for c in args.cells.split(",") if c]
+    for name in cells:
+        t0 = time.time()
+        if name == "2011":
+            scenario = scenario_2011(seed=args.seed,
+                                     machines_per_cell=args.machines,
+                                     horizon_hours=args.hours,
+                                     arrival_scale=args.scale)
+        else:
+            scenario = scenarios_2019(seed=args.seed,
+                                      machines_per_cell=args.machines,
+                                      horizon_hours=args.hours,
+                                      arrival_scale=args.scale,
+                                      cells=[name])[0]
+        trace = encode_cell(scenario.run())
+        save_trace(trace, out / name)
+        print(f"cell {name}: simulated + saved in {time.time() - t0:.0f}s "
+              f"({len(trace.instance_usage)} usage rows) -> {out / name}")
+    return 0
+
+
+def _validate(args) -> int:
+    trace = load_trace(args.trace_dir)
+    violations = validate_trace(trace)
+    if not violations:
+        print(f"{args.trace_dir}: all invariants hold "
+              f"({len(trace.instance_usage)} usage rows checked)")
+        return 0
+    print(f"{args.trace_dir}: {len(violations)} violations")
+    for v in violations[:20]:
+        print(f"  {v}")
+    return 1
+
+
+def _report(args) -> int:
+    root = Path(args.trace_root)
+    dirs = sorted(p for p in root.iterdir() if (p / "metadata.json").exists())
+    if not dirs:
+        print(f"no traces under {root} (expected subdirectories with "
+              "metadata.json; create them with 'borg-repro simulate')",
+              file=sys.stderr)
+        return 1
+    traces_2011, traces_2019 = [], []
+    for d in dirs:
+        trace = load_trace(d)
+        (traces_2011 if trace.era == "2011" else traces_2019).append(trace)
+        print(f"loaded {d.name} (era {trace.era})", file=sys.stderr)
+    if not traces_2011 or not traces_2019:
+        print("the report needs at least one 2011-era and one 2019-era trace",
+              file=sys.stderr)
+        return 1
+    text = full_report(traces_2011, traces_2019)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="borg-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate cells and save traces")
+    p_sim.add_argument("--cells", default="2011,a,b,c,d,e,f,g,h",
+                       help="comma-separated cells ('2011' and/or a-h)")
+    p_sim.add_argument("--out", default="traces",
+                       help="output directory (one subdir per cell)")
+    _add_scale_args(p_sim)
+    p_sim.set_defaults(func=_simulate)
+
+    p_val = sub.add_parser("validate", help="check trace invariants")
+    p_val.add_argument("trace_dir", help="directory written by 'simulate'")
+    p_val.set_defaults(func=_validate)
+
+    p_rep = sub.add_parser("report", help="render the full paper report")
+    p_rep.add_argument("trace_root", help="directory containing cell subdirs")
+    p_rep.add_argument("--out", default=None, help="write the report here")
+    p_rep.set_defaults(func=_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

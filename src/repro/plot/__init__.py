@@ -1,0 +1,15 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+No plotting stack is assumed (or available offline); these renderers
+draw CCDFs, time series and bar charts straight into text, which is how
+the examples and the report driver visualize results.
+"""
+
+from repro.plot.ascii import (
+    bar_chart,
+    ccdf_chart,
+    line_chart,
+    stacked_series_chart,
+)
+
+__all__ = ["bar_chart", "ccdf_chart", "line_chart", "stacked_series_chart"]

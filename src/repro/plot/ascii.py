@@ -1,0 +1,214 @@
+"""ASCII chart rendering.
+
+A small, dependency-free plotting surface: multi-series line charts with
+optional log axes (enough for the paper's CCDFs, including the log-log
+figure 12), stacked tier time series (figures 2/4), and labeled bar
+charts (figures 3/5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Per-series markers, assigned in insertion order.
+MARKERS = "ox*+#@%&"
+
+
+def _transform(values: np.ndarray, log: bool, what: str) -> np.ndarray:
+    if not log:
+        return values
+    if (values <= 0).any():
+        raise ValueError(f"log-scale {what} requires positive values")
+    return np.log10(values)
+
+
+def _ticks(lo: float, hi: float, log: bool, count: int = 5) -> List[float]:
+    if log:
+        return list(np.logspace(lo, hi, count))
+    return list(np.linspace(lo, hi, count))
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def line_chart(series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+               width: int = 64, height: int = 16,
+               logx: bool = False, logy: bool = False,
+               title: str = "", x_label: str = "x",
+               y_label: str = "y") -> str:
+    """Render (x, y) series as a character grid with axes and a legend.
+
+    >>> print(line_chart({"f": ([1, 2, 3], [3, 2, 1])}, width=20, height=5))
+    ... # doctest: +SKIP
+    """
+    if not series:
+        raise ValueError("line_chart requires at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small: need width >= 16, height >= 4")
+
+    prepared = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape or xs.size == 0:
+            raise ValueError(f"series {name!r}: x/y must be equal-length, non-empty")
+        prepared[name] = (_transform(xs, logx, "x"), _transform(ys, logy, "y"))
+
+    all_x = np.concatenate([xs for xs, _ in prepared.values()])
+    all_y = np.concatenate([ys for _, ys in prepared.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), marker in zip(prepared.items(), MARKERS):
+        cols = np.clip(((xs - x_lo) / (x_hi - x_lo) * (width - 1)).round(),
+                       0, width - 1).astype(int)
+        rows = np.clip(((ys - y_lo) / (y_hi - y_lo) * (height - 1)).round(),
+                       0, height - 1).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_ticks = _ticks(y_lo, y_hi, logy)
+    label_width = max(len(_fmt(t)) for t in y_ticks) + 1
+    for i, row in enumerate(grid):
+        # Label the top, middle and bottom rows.
+        frac = 1.0 - i / (height - 1)
+        if i in (0, height // 2, height - 1):
+            value = y_lo + frac * (y_hi - y_lo)
+            if logy:
+                value = 10**value
+            label = _fmt(value).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_ticks = _ticks(x_lo, x_hi, logx, count=3)
+    if logx:
+        tick_text = "  ".join(_fmt(t) for t in x_ticks)
+    else:
+        tick_text = "  ".join(_fmt(t) for t in x_ticks)
+    lines.append(" " * (label_width + 1) + tick_text + f"   [{x_label}]")
+    legend = "  ".join(f"{marker}={name}" for (name, _), marker
+                       in zip(prepared.items(), MARKERS))
+    lines.append(f"{y_label} vs {x_label}; {legend}")
+    return "\n".join(lines)
+
+
+def ccdf_chart(ccdfs: Mapping[str, "Ccdf"], width: int = 64,  # noqa: F821
+               height: int = 16, logx: bool = False, logy: bool = False,
+               title: str = "", max_points: int = 200) -> str:
+    """Render CCDFs (``repro.stats.Ccdf``) as a line chart.
+
+    Zero-probability tail points are dropped under ``logy``; dense CCDFs
+    are decimated to ``max_points`` per series.
+    """
+    series = {}
+    for name, ccdf in ccdfs.items():
+        xs, ps = ccdf.as_series()
+        if logy:
+            keep = ps > 0
+            xs, ps = xs[keep], ps[keep]
+        if logx:
+            keep = xs > 0
+            xs, ps = xs[keep], ps[keep]
+        if xs.size == 0:
+            continue
+        if xs.size > max_points:
+            idx = np.linspace(0, xs.size - 1, max_points).astype(int)
+            xs, ps = xs[idx], ps[idx]
+        series[name] = (xs, ps)
+    if not series:
+        raise ValueError("no drawable CCDF points (all filtered by log axes)")
+    return line_chart(series, width=width, height=height, logx=logx,
+                      logy=logy, title=title, x_label="x",
+                      y_label="Pr(X > x)")
+
+
+def stacked_series_chart(series: Mapping[str, Sequence[float]],
+                         width: int = 64, height: int = 16,
+                         title: str = "", x_label: str = "hour") -> str:
+    """Stacked area chart of per-tier series (figures 2 and 4).
+
+    Each column shows the cumulative stack; each band is filled with its
+    tier's marker character.
+    """
+    if not series:
+        raise ValueError("stacked_series_chart requires at least one series")
+    arrays = {name: np.asarray(v, dtype=float) for name, v in series.items()}
+    n = {len(a) for a in arrays.values()}
+    if len(n) != 1:
+        raise ValueError("all series must have equal length")
+    n = n.pop()
+    if n == 0:
+        raise ValueError("series are empty")
+    total = sum(arrays.values())
+    peak = float(np.max(total))
+    if peak <= 0:
+        raise ValueError("nothing to stack: total is zero everywhere")
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip((np.arange(n) / max(n - 1, 1) * (width - 1)).round(),
+                   0, width - 1).astype(int)
+    for col_group in range(width):
+        hours = np.flatnonzero(cols == col_group)
+        if hours.size == 0:
+            continue
+        h = int(hours[0])
+        base = 0.0
+        for (name, values), marker in zip(arrays.items(), MARKERS):
+            top = base + float(values[h])
+            r_lo = int(round(base / peak * (height - 1)))
+            r_hi = int(round(top / peak * (height - 1)))
+            for r in range(r_lo, max(r_hi, r_lo + (1 if values[h] > 0 else 0))):
+                grid[height - 1 - min(r, height - 1)][col_group] = marker
+            base = top
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = len(_fmt(peak)) + 1
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        if i in (0, height // 2, height - 1):
+            label = _fmt(frac * peak).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    lines.append(" " * (label_width + 1) + f"0 .. {n - 1} [{x_label}]")
+    legend = "  ".join(f"{marker}={name}" for (name, _), marker
+                       in zip(arrays.items(), MARKERS))
+    lines.append("stack: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(values: Mapping[str, float], width: int = 50,
+              title: str = "") -> str:
+    """Horizontal labeled bar chart (figures 3 and 5 style)."""
+    if not values:
+        raise ValueError("bar_chart requires at least one bar")
+    peak = max(abs(v) for v in values.values())
+    if peak == 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        filled = int(round(abs(value) / peak * width))
+        lines.append(f"{name.rjust(label_width)} |{'#' * filled}"
+                     f"{' ' * (width - filled)}| {_fmt(value)}")
+    return "\n".join(lines)

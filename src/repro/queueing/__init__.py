@@ -1,0 +1,36 @@
+"""Queueing-theoretic analysis (paper section 7.3).
+
+The paper connects its C² measurements to expected queueing delay via
+the Pollaczek-Khinchine formula for an M/G/1 queue, and argues that
+isolating the top 1% of jobs ("hogs") from the other 99% ("mice") would
+let the mice see a nearly empty system.  This subpackage provides both
+the closed-form analysis and an event-driven M/G/1 simulator to check
+it, plus the hog/mouse isolation comparison.
+"""
+
+from repro.queueing.mg1 import (
+    MG1Stats,
+    mg1_mean_queueing_delay,
+    mg1_mean_waiting_time_simulated,
+    pollaczek_khinchine,
+)
+from repro.queueing.isolation import IsolationComparison, compare_isolation
+from repro.queueing.partition import (
+    IsolationExperiment,
+    QueueOutcome,
+    run_isolation_experiment,
+    simulate_partitioned_queue,
+)
+
+__all__ = [
+    "MG1Stats",
+    "mg1_mean_queueing_delay",
+    "mg1_mean_waiting_time_simulated",
+    "pollaczek_khinchine",
+    "IsolationComparison",
+    "compare_isolation",
+    "IsolationExperiment",
+    "QueueOutcome",
+    "run_isolation_experiment",
+    "simulate_partitioned_queue",
+]

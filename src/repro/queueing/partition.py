@@ -1,0 +1,211 @@
+"""Scheduling to combat heavy tails (paper section 10, direction 5).
+
+"There is interesting research to be done on how to schedule jobs in a
+way that allows the remaining 99% of jobs (the 'mice') to have partial
+or full isolation from these hogs, so that they can experience what
+appears to be a very lightly loaded environment."
+
+This module runs that experiment: an event-driven M/G/c multi-server
+queue fed by an empirical (heavy-tailed) job-size sample, under two
+policies —
+
+* ``shared``: every job queues FCFS for any of the ``c`` servers;
+* ``isolated``: a fraction of servers is reserved for mice (jobs below
+  the hog threshold); hogs may only use the remaining servers, mice may
+  overflow onto free hog servers but are never queued behind a hog.
+
+The output compares mouse and hog waiting times between the policies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.tails import split_hogs_mice
+
+
+@dataclass(frozen=True)
+class QueueOutcome:
+    """Waiting-time statistics for one class of jobs under one policy."""
+
+    n_jobs: int
+    mean_wait: float
+    median_wait: float
+    p99_wait: float
+
+    @staticmethod
+    def from_waits(waits: np.ndarray) -> "QueueOutcome":
+        if waits.size == 0:
+            return QueueOutcome(0, 0.0, 0.0, 0.0)
+        return QueueOutcome(
+            n_jobs=int(waits.size),
+            mean_wait=float(waits.mean()),
+            median_wait=float(np.median(waits)),
+            p99_wait=float(np.percentile(waits, 99)),
+        )
+
+
+@dataclass(frozen=True)
+class IsolationExperiment:
+    """Shared vs isolated outcomes, mice and hogs separately."""
+
+    rho: float
+    n_servers: int
+    hog_threshold: float
+    mice_shared: QueueOutcome
+    mice_isolated: QueueOutcome
+    hogs_shared: QueueOutcome
+    hogs_isolated: QueueOutcome
+
+    @property
+    def mice_mean_speedup(self) -> float:
+        """How much faster mice wait under isolation (mean wait ratio)."""
+        if self.mice_isolated.mean_wait <= 0:
+            return float("inf") if self.mice_shared.mean_wait > 0 else 1.0
+        return self.mice_shared.mean_wait / self.mice_isolated.mean_wait
+
+
+class _ServerPool:
+    """Free-server set plus a FIFO queue of (arrival, size, job_id)."""
+
+    def __init__(self, server_ids: Sequence[int]):
+        self.free: List[int] = list(server_ids)
+        self.queue: List[Tuple[float, float, int]] = []
+
+    def has_free(self) -> bool:
+        return bool(self.free)
+
+
+def simulate_partitioned_queue(rng: np.random.Generator,
+                               job_sizes: Sequence[float],
+                               n_servers: int = 20,
+                               rho: float = 0.6,
+                               n_jobs: int = 50_000,
+                               hog_fraction: float = 0.01,
+                               mice_reserved_fraction: Optional[float] = None,
+                               isolated: bool = False) -> Dict[str, np.ndarray]:
+    """Simulate the multi-server queue; returns waits per class.
+
+    Jobs arrive Poisson at rate ``rho * n_servers / mean_size`` and are
+    resampled from ``job_sizes``.  Under ``isolated``, the first
+    ``mice_reserved_fraction`` of servers only run mice; mice may also
+    run on hog servers when those are idle and no hog is waiting.
+
+    ``mice_reserved_fraction`` defaults to the mice's measured share of
+    the total load plus a safety margin — reserving more would starve the
+    hog partition into instability (hogs carry ~99% of the work), and
+    reserving less leaves mice exposed.
+
+    Returns ``{"mice": waits, "hogs": waits}`` in service-time units of
+    the overall mean size.
+    """
+    sizes = np.asarray(job_sizes, dtype=float)
+    if sizes.size < 10:
+        raise ValueError("need at least 10 job sizes")
+    if not 0 < rho < 1:
+        raise ValueError(f"rho must be in (0, 1), got {rho}")
+    if n_servers < 2:
+        raise ValueError("need at least 2 servers")
+    split = split_hogs_mice(sizes, hog_fraction)
+    threshold = split.threshold
+    mean_size = float(sizes.mean())
+    arrival_rate = rho * n_servers / mean_size
+
+    if mice_reserved_fraction is None:
+        mice_load_share = 1.0 - split.hog_load_share
+        mice_reserved_fraction = min(0.9, 2.0 * mice_load_share + 1.0 / n_servers)
+    n_mice_servers = min(n_servers - 1,
+                         max(1, int(round(n_servers * mice_reserved_fraction))))
+    if isolated:
+        mice_pool = _ServerPool(range(n_mice_servers))
+        hog_pool = _ServerPool(range(n_mice_servers, n_servers))
+    else:
+        mice_pool = _ServerPool(range(n_servers))
+        hog_pool = mice_pool  # same object: one shared pool/queue
+
+    service = rng.choice(sizes, size=n_jobs, replace=True)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_jobs))
+    is_hog = service >= threshold
+
+    waits = np.zeros(n_jobs)
+    #: (finish_time, seq, server_id, pool) ordering events.
+    events: List[Tuple[float, int, int, int]] = []  # pool: 0=mice, 1=hog
+    pools = {0: mice_pool, 1: hog_pool}
+    seq = 0
+
+    def start(job: int, server: int, now: float) -> None:
+        nonlocal seq
+        waits[job] = now - arrivals[job]
+        pool_code = 1 if (isolated and server >= n_mice_servers) else 0
+        heapq.heappush(events, (now + service[job], seq, server, pool_code))
+        seq += 1
+
+    def drain(pool_code: int, now: float) -> None:
+        pool = pools[pool_code]
+        while pool.free and pool.queue:
+            _, __, job = heapq.heappop(pool.queue)
+            start(job, pool.free.pop(), now)
+        if isolated and pool_code == 1:
+            # Idle hog servers help waiting mice (work conserving).
+            while hog_pool.free and mice_pool.queue:
+                _, __, job = heapq.heappop(mice_pool.queue)
+                start(job, hog_pool.free.pop(), now)
+
+    for job in range(n_jobs):
+        now = arrivals[job]
+        # Retire finished work first, handing freed servers to waiters.
+        while events and events[0][0] <= now:
+            finish_time, __, server, pool_code = heapq.heappop(events)
+            pools[pool_code].free.append(server)
+            drain(pool_code, finish_time)
+        if not isolated:
+            pool = mice_pool
+        else:
+            pool = hog_pool if is_hog[job] else mice_pool
+        if pool.has_free():
+            start(job, pool.free.pop(), now)
+        elif isolated and not is_hog[job] and hog_pool.has_free() \
+                and not hog_pool.queue:
+            # Mouse overflow onto an idle hog server.
+            start(job, hog_pool.free.pop(), now)
+        else:
+            heapq.heappush(pool.queue, (now, job, job))
+
+    return {"mice": waits[~is_hog] / mean_size,
+            "hogs": waits[is_hog] / mean_size}
+
+
+def run_isolation_experiment(rng: np.random.Generator,
+                             job_sizes: Sequence[float],
+                             n_servers: int = 20,
+                             rho: float = 0.6,
+                             n_jobs: int = 50_000,
+                             hog_fraction: float = 0.01,
+                             mice_reserved_fraction: Optional[float] = None,
+                             ) -> IsolationExperiment:
+    """Run both policies on identical arrival/size streams and compare."""
+    state = rng.bit_generator.state
+    shared = simulate_partitioned_queue(
+        rng, job_sizes, n_servers=n_servers, rho=rho, n_jobs=n_jobs,
+        hog_fraction=hog_fraction, isolated=False,
+    )
+    # Identical randomness for the isolated run: a paired experiment.
+    rng.bit_generator.state = state
+    isolated = simulate_partitioned_queue(
+        rng, job_sizes, n_servers=n_servers, rho=rho, n_jobs=n_jobs,
+        hog_fraction=hog_fraction,
+        mice_reserved_fraction=mice_reserved_fraction, isolated=True,
+    )
+    threshold = split_hogs_mice(np.asarray(job_sizes, dtype=float),
+                                hog_fraction).threshold
+    return IsolationExperiment(
+        rho=rho, n_servers=n_servers, hog_threshold=float(threshold),
+        mice_shared=QueueOutcome.from_waits(shared["mice"]),
+        mice_isolated=QueueOutcome.from_waits(isolated["mice"]),
+        hogs_shared=QueueOutcome.from_waits(shared["hogs"]),
+        hogs_isolated=QueueOutcome.from_waits(isolated["hogs"]),
+    )

@@ -1,0 +1,90 @@
+"""Autopilot: vertical autoscaling of per-instance resource limits.
+
+Borg's Autopilot (paper section 8, and its companion paper) predicts a
+job's resource needs and continually adjusts limits to shave *slack* —
+the gap between the limit and actual usage.  The 2019 trace marks each
+job as not autoscaled, fully autoscaled, or autoscaled under
+constraints; the paper's figure 14 shows fully < constrained < manual
+in peak-NCU-slack CCDF terms.
+
+We implement Autopilot as a causal limit controller: at each sample
+window the limit for the *next* window is set from the peak usage seen
+over a trailing horizon, times a safety margin — exactly the moving
+peak-window estimator the Autopilot paper describes as its default.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class AutopilotMode(enum.Enum):
+    NONE = "none"
+    FULLY = "fully"
+    CONSTRAINED = "constrained"
+
+
+@dataclass(frozen=True)
+class AutopilotParams:
+    """Controller parameters."""
+
+    #: Safety margin applied on top of the trailing peak.
+    margin: float = 1.05
+    #: Trailing window length, in sample periods, for the peak estimate.
+    peak_window: int = 3
+    #: Fully-autoscaled limits may shrink to this fraction of the request.
+    min_limit_fraction_fully: float = 0.05
+    #: Constrained autoscaling may not shrink below this fraction (a user
+    #: -set lower bound is the most common constraint in practice).
+    min_limit_fraction_constrained: float = 0.80
+
+
+def limit_trajectory(mode: AutopilotMode, initial_limit: float,
+                     max_usage: np.ndarray,
+                     params: AutopilotParams = AutopilotParams()) -> np.ndarray:
+    """Per-window limits given realized peak usage.
+
+    ``max_usage[w]`` is the within-window peak; the returned ``limits[w]``
+    is the limit in force during window ``w``.  The controller is causal:
+    ``limits[w]`` depends only on usage in windows ``< w``.  Limits never
+    drop below the current observed peak (Autopilot raises limits
+    immediately on overload to avoid throttling/OOM).
+    """
+    n = len(max_usage)
+    limits = np.full(n, float(initial_limit))
+    if mode is AutopilotMode.NONE or n == 0:
+        return limits
+
+    if mode is AutopilotMode.FULLY:
+        floor = initial_limit * params.min_limit_fraction_fully
+    else:
+        floor = initial_limit * params.min_limit_fraction_constrained
+
+    for w in range(1, n):
+        lo = max(0, w - params.peak_window)
+        trailing_peak = float(np.max(max_usage[lo:w]))
+        target = trailing_peak * params.margin
+        limits[w] = float(np.clip(target, floor, initial_limit))
+        # React to overload within the window: never cap below usage.
+        if limits[w] < max_usage[w]:
+            limits[w] = min(initial_limit, max_usage[w] * params.margin)
+    return limits
+
+
+def peak_slack(limits: np.ndarray, max_usage: np.ndarray) -> np.ndarray:
+    """Peak NCU slack per sample window (the figure 14 metric).
+
+    slack = max(0, limit - peak usage) / limit, as a fraction in [0, 1].
+    Windows with a zero limit are defined to have zero slack.
+    """
+    limits = np.asarray(limits, dtype=float)
+    max_usage = np.asarray(max_usage, dtype=float)
+    if limits.shape != max_usage.shape:
+        raise ValueError(f"shape mismatch: {limits.shape} vs {max_usage.shape}")
+    out = np.zeros_like(limits)
+    nonzero = limits > 0
+    out[nonzero] = np.maximum(0.0, limits[nonzero] - max_usage[nonzero]) / limits[nonzero]
+    return out

@@ -1,0 +1,728 @@
+"""The discrete-event engine driving one Borg cell.
+
+``CellSim`` consumes a pre-generated workload (collections with submit
+times, shapes, planned outcomes) and plays it against a machine fleet:
+batch-queue admission, round-based scheduling with preemption, task
+restarts, machine maintenance, dependency cascade kills, and usage
+sampling.  The output is a :class:`CellResult` holding the event log,
+the usage-sample arrays, and the final collection states.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.autopilot import AutopilotMode, AutopilotParams, limit_trajectory
+from repro.sim.batch import BatchParams, BatchQueue
+from repro.sim.dependencies import DependencyManager
+from repro.sim.entities import (
+    Collection,
+    CollectionType,
+    EndReason,
+    Instance,
+    InstanceState,
+    SchedulerKind,
+)
+from repro.sim.events import EventLog, EventType
+from repro.sim.machine import Machine
+from repro.sim.priority import Tier
+from repro.sim.resources import Resources
+from repro.sim.scheduler import PendingQueue, PlacementPolicy, SchedulerParams
+from repro.sim.usage import UsageModel, UsageModelParams
+from repro.util.errors import SimulationError
+from repro.util.rng import RngFactory
+from repro.util.timeutil import HOUR_SECONDS
+
+_END_EVENT = {
+    EndReason.FINISH: EventType.FINISH,
+    EndReason.EVICT: EventType.EVICT,
+    EndReason.KILL: EventType.KILL,
+    EndReason.FAIL: EventType.FAIL,
+}
+
+#: Integer tier codes used in the packed usage arrays.
+TIER_CODES = {Tier.FREE: 0, Tier.BEB: 1, Tier.MID: 2, Tier.PROD: 3, Tier.MONITORING: 4}
+TIER_FROM_CODE = {v: k for k, v in TIER_CODES.items()}
+AUTOPILOT_CODES = {"none": 0, "fully": 1, "constrained": 2}
+AUTOPILOT_FROM_CODE = {v: k for k, v in AUTOPILOT_CODES.items()}
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """Everything that parameterizes one cell's behavior."""
+
+    name: str
+    era: str  # "2011" | "2019"
+    utc_offset_hours: float = 0.0
+    horizon: float = 24 * HOUR_SECONDS
+    scheduler: SchedulerParams = field(default_factory=SchedulerParams)
+    batch: BatchParams = field(default_factory=BatchParams)
+    usage: UsageModelParams = field(default_factory=UsageModelParams)
+    autopilot: AutopilotParams = field(default_factory=AutopilotParams)
+    sample_period: float = 300.0
+    #: Whether a best-effort batch queue exists (2019 only; section 3).
+    batch_queueing: bool = True
+    #: Infrastructure-eviction hazard per running instance per hour, by tier.
+    eviction_rate_per_hour: Dict[Tier, float] = field(default_factory=lambda: {
+        Tier.FREE: 0.004, Tier.BEB: 0.003, Tier.MID: 0.002,
+        Tier.PROD: 0.00005, Tier.MONITORING: 0.00002,
+    })
+    #: Task-level crash/restart hazard per running instance per hour
+    #: (drives the figure 9 "churn" ratio).
+    restart_rate_per_hour: float = 0.5
+    #: Machine maintenance events per machine per 30 days (~1/month).
+    machine_downtime_per_month: float = 1.0
+    #: Maintenance outage duration, seconds.
+    machine_downtime_duration: float = 900.0
+    #: Tiers allowed to preempt lower tiers.
+    preempting_tiers: Tuple[Tier, ...] = (Tier.PROD, Tier.MONITORING)
+
+    def __post_init__(self):
+        if self.era not in ("2011", "2019"):
+            raise ValueError(f"era must be '2011' or '2019', got {self.era!r}")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+
+@dataclass
+class SimCounters:
+    """Cheap integrity/diagnostic counters maintained during the run."""
+
+    jobs_submitted: int = 0
+    alloc_sets_submitted: int = 0
+    tasks_created: int = 0
+    schedule_events: int = 0
+    reschedule_events: int = 0
+    evictions: int = 0
+    task_restarts: int = 0
+    preemption_victims: int = 0
+    machine_downtimes: int = 0
+    batch_queued: int = 0
+    cascade_kills: int = 0
+
+
+@dataclass
+class CellResult:
+    """Everything a trace encoder or analysis needs from one cell run."""
+
+    config: CellConfig
+    machines: List[Machine]
+    collections: List[Collection]
+    events: EventLog
+    usage: Dict[str, np.ndarray]
+    counters: SimCounters
+
+    @property
+    def capacity(self) -> Resources:
+        cpu = sum(m.capacity.cpu for m in self.machines)
+        mem = sum(m.capacity.mem for m in self.machines)
+        return Resources(cpu, mem)
+
+
+class _UsageBuffer:
+    """Accumulates usage-sample columns as python lists of numpy chunks."""
+
+    COLUMNS = (
+        "collection_id", "instance_index", "machine_id", "tier_code",
+        "autopilot_code", "in_alloc", "window_start", "duration",
+        "avg_cpu", "max_cpu", "avg_mem", "max_mem", "cpu_limit", "mem_limit",
+    )
+
+    def __init__(self):
+        self._chunks: Dict[str, List[np.ndarray]] = {c: [] for c in self.COLUMNS}
+        self.n_rows = 0
+
+    def append(self, **arrays: np.ndarray) -> None:
+        n = len(arrays["window_start"])
+        if n == 0:
+            return
+        for name in self.COLUMNS:
+            self._chunks[name].append(arrays[name])
+        self.n_rows += n
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        out = {}
+        for name in self.COLUMNS:
+            chunks = self._chunks[name]
+            out[name] = np.concatenate(chunks) if chunks else np.empty(0)
+        return out
+
+
+def _reconcile_machine_usage(usage: Dict[str, np.ndarray],
+                             machines: Sequence[Machine],
+                             sample_period: float) -> None:
+    """Throttle sampled usage to physical machine capacity, in place.
+
+    Per-instance usage is generated independently, so on an over-committed
+    machine the within-window sum can exceed what the hardware can
+    deliver.  Real Borg machines throttle CPU (work conserving) and
+    pressure memory under contention; we model both as a proportional
+    per-(machine, window) scale-down to 98% of capacity.  This is also
+    what makes the section-9 "usage <= machine capacity" trace invariant
+    hold by construction rather than by luck.
+    """
+    n = len(usage["window_start"])
+    if n == 0:
+        return
+    cap_cpu = {m.machine_id: m.capacity.cpu for m in machines}
+    cap_mem = {m.machine_id: m.capacity.mem for m in machines}
+    machine_ids = usage["machine_id"].astype(np.int64)
+    window = (usage["window_start"] / sample_period).astype(np.int64)
+    key = machine_ids * 10_000_000 + window
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_key)) + 1])
+    for col_avg, col_max, caps in (("avg_cpu", "max_cpu", cap_cpu),
+                                   ("avg_mem", "max_mem", cap_mem)):
+        sums = np.add.reduceat(usage[col_avg][order], starts)
+        group_machines = machine_ids[order][starts]
+        limits = np.asarray([caps.get(int(m), np.inf) for m in group_machines])
+        factors = np.ones(len(starts))
+        over = sums > limits * 0.98
+        factors[over] = (limits[over] * 0.98) / sums[over]
+        # Scatter the per-group factor back to rows.
+        row_factors = np.repeat(factors, np.diff(np.append(starts, len(order))))
+        scale = np.ones(n)
+        scale[order] = row_factors
+        usage[col_avg] *= scale
+        usage[col_max] *= scale
+
+
+class CellSim:
+    """Runs one cell to its horizon."""
+
+    def __init__(self, config: CellConfig, machines: Sequence[Machine],
+                 workload: Sequence[Collection], rng: RngFactory):
+        if not machines:
+            raise SimulationError("a cell needs at least one machine")
+        self.config = config
+        self.machines = list(machines)
+        self.machines_by_id = {m.machine_id: m for m in self.machines}
+        self.workload = sorted(workload, key=lambda c: c.submit_time)
+        self.rng = rng
+        self.events = EventLog()
+        self.counters = SimCounters()
+
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._pending = PendingQueue()
+        #: Tasks that failed placement wait here and are retried on a
+        #: slower cadence than fresh arrivals — re-scanning a saturated
+        #: cell for the same hard-to-fit shapes every round is wasted work.
+        self._parked = PendingQueue()
+        self._parked_retry_at = 0.0
+        self._parked_retry_interval = max(30.0, config.scheduler.round_interval)
+        self._round_scheduled = False
+        self._batch_check_scheduled = False
+        self._collections: Dict[int, Collection] = {}
+        self._deps = DependencyManager()
+        self._policy = PlacementPolicy(config.scheduler, rng.stream("placement"))
+        self._usage_model = UsageModel(config.usage, config.sample_period,
+                                       config.utc_offset_hours)
+        self._usage = _UsageBuffer()
+        cell_capacity = Resources(
+            sum(m.capacity.cpu for m in self.machines),
+            sum(m.capacity.mem for m in self.machines),
+        )
+        self._batch = BatchQueue(config.batch, cell_capacity)
+        self._batch_admitted: set = set()
+        #: tasks hosted inside each alloc instance
+        self._alloc_tenants: Dict[Tuple[int, int], List[Instance]] = {}
+
+        self._rng_hazard = rng.stream("hazards")
+        self._rng_usage = rng.stream("usage")
+        self._rng_machine = rng.stream("machine-downtime")
+
+    # ------------------------------------------------------------------ setup
+
+    def _push(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def _seed_events(self) -> None:
+        for collection in self.workload:
+            if collection.submit_time < self.config.horizon:
+                self._push(collection.submit_time, "submit", collection)
+        # Machine maintenance: Poisson(~1/month) per machine.
+        rate = self.config.machine_downtime_per_month / (30 * 24 * HOUR_SECONDS)
+        if rate > 0:
+            for machine in self.machines:
+                t = float(self._rng_machine.exponential(1.0 / rate))
+                while t < self.config.horizon:
+                    self._push(t, "machine_down", machine)
+                    t += self.config.machine_downtime_duration
+                    t += float(self._rng_machine.exponential(1.0 / rate))
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> CellResult:
+        """Execute the cell simulation and return its result."""
+        self._seed_events()
+        horizon = self.config.horizon
+        handlers = {
+            "submit": self._on_submit,
+            "enable": self._on_enable,
+            "round": self._on_round,
+            "batch_check": self._on_batch_check,
+            "collection_end": self._on_collection_end,
+            "evict": self._on_evict_hazard,
+            "restart": self._on_restart_hazard,
+            "machine_down": self._on_machine_down,
+            "machine_up": self._on_machine_up,
+            "collection_timeout": self._on_collection_timeout,
+        }
+        while self._heap:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            if time >= horizon:
+                break
+            handlers[kind](time, payload)
+        self._finalize(horizon)
+        usage = self._usage.finalize()
+        _reconcile_machine_usage(usage, self.machines, self.config.sample_period)
+        return CellResult(
+            config=self.config,
+            machines=self.machines,
+            collections=list(self._collections.values()),
+            events=self.events,
+            usage=usage,
+            counters=self.counters,
+        )
+
+    # -------------------------------------------------------------- handlers
+
+    def _on_submit(self, t: float, collection: Collection) -> None:
+        self._collections[collection.collection_id] = collection
+        self._deps.register(collection)
+        if collection.is_alloc_set:
+            self.counters.alloc_sets_submitted += 1
+        else:
+            self.counters.jobs_submitted += 1
+        self.counters.tasks_created += collection.num_instances
+        self.events.collection(t, collection, EventType.SUBMIT)
+        for instance in collection.instances:
+            self.events.instance(t, instance, EventType.SUBMIT, is_new=True)
+
+        use_batch_queue = (
+            self.config.batch_queueing
+            and collection.scheduler is SchedulerKind.BATCH
+            and not collection.is_alloc_set
+        )
+        if use_batch_queue:
+            self.counters.batch_queued += 1
+            self.events.collection(t, collection, EventType.QUEUE)
+            for instance in collection.instances:
+                instance.state = InstanceState.QUEUED
+            self._batch.enqueue(collection)
+            self._ensure_batch_check(t)
+        else:
+            self._enable(t, collection, log_event=False)
+
+    def _ensure_batch_check(self, t: float) -> None:
+        if not self._batch_check_scheduled:
+            self._batch_check_scheduled = True
+            self._push(t + self.config.batch.check_interval, "batch_check", None)
+
+    def _on_batch_check(self, t: float, _payload) -> None:
+        self._batch_check_scheduled = False
+        for collection in self._batch.admit_ready():
+            self._batch_admitted.add(collection.collection_id)
+            self._enable(t, collection, log_event=True)
+        if len(self._batch):
+            self._ensure_batch_check(t)
+
+    def _on_enable(self, t: float, collection: Collection) -> None:
+        self._enable(t, collection, log_event=True)
+
+    def _enable(self, t: float, collection: Collection, log_event: bool) -> None:
+        if collection.is_done:
+            return
+        collection.enable_time = t
+        if log_event:
+            self.events.collection(t, collection, EventType.ENABLE)
+        # A job that never manages to start is eventually abandoned by its
+        # user; without this, admitted-but-unplaceable work would hold the
+        # batch budget forever.
+        self._push(t + max(1.5 * collection.planned_duration, 1800.0),
+                   "collection_timeout", collection)
+        for instance in collection.instances:
+            if instance.state in (InstanceState.SUBMITTED, InstanceState.QUEUED):
+                instance.state = InstanceState.PENDING
+                instance.pending_since = t
+                self._pending.push(instance)
+        self._ensure_round(t)
+
+    def _ensure_round(self, t: float) -> None:
+        if not self._round_scheduled and (len(self._pending) or len(self._parked)):
+            self._round_scheduled = True
+            interval = self.config.scheduler.round_interval
+            next_round = (int(t / interval) + 1) * interval
+            self._push(next_round, "round", None)
+
+    def _on_round(self, t: float, _payload) -> None:
+        self._round_scheduled = False
+        self._pending.remove_dead()
+        if self._parked and t >= self._parked_retry_at:
+            self._parked_retry_at = t + self._parked_retry_interval
+            self._parked.remove_dead()
+            for instance in self._parked.pop_batch(len(self._parked)):
+                self._pending.push(instance)
+        batch = self._pending.pop_batch(self.config.scheduler.round_capacity)
+        deferred: List[Instance] = []
+        # Failure-dominance pruning: within one round resources only
+        # shrink, so a request at least as large (on both dimensions) as
+        # one that already failed cannot fit either — skip the scan.
+        # Preempting tiers get their own cache since they can make room.
+        failed: Dict[Tuple[bool, str], Tuple[float, float]] = {}
+        progressed = False
+        for instance in batch:
+            if instance.collection.is_done or instance.state is not InstanceState.PENDING:
+                continue
+            preempts = instance.tier in self.config.preempting_tiers
+            cache_key = (preempts, instance.constraint)
+            f_cpu, f_mem = failed.get(cache_key, (float("inf"), float("inf")))
+            req = instance.request
+            if req.cpu >= f_cpu and req.mem >= f_mem:
+                deferred.append(instance)
+                continue
+            if self._try_place(t, instance):
+                progressed = True
+            else:
+                failed[cache_key] = (min(f_cpu, req.cpu), min(f_mem, req.mem))
+                deferred.append(instance)
+        for instance in deferred:
+            self._parked.push(instance)
+        # Event-driven retry: if this round placed nothing, re-running it
+        # before any resources free again would do the same failing work
+        # over; the next round is armed by whichever event frees capacity
+        # (an instance stopping, a machine returning, a new enable).
+        if progressed:
+            self._ensure_round(t)
+
+    # ------------------------------------------------------------- placement
+
+    def _try_place(self, t: float, instance: Instance) -> bool:
+        collection = instance.collection
+        # Tasks targeted at an alloc set go inside a live alloc instance.
+        if (not instance.is_alloc_instance
+                and collection.alloc_collection_id is not None):
+            host = self._find_alloc_room(collection.alloc_collection_id, instance.request)
+            if host is not None:
+                self._start_in_alloc(t, instance, host)
+                return True
+            # No alloc room (alloc set still pending, or full): fall through
+            # to direct machine placement, as Borg does.
+
+        machine = self._policy.find_machine(self.machines, instance.request,
+                                            instance.constraint)
+        if machine is None and instance.tier in self.config.preempting_tiers:
+            found = self._policy.find_preemption(
+                self.machines, instance.request, instance.tier.rank,
+                instance.constraint,
+            )
+            if found is not None:
+                machine, victims = found
+                for victim in victims:
+                    self.counters.preemption_victims += 1
+                    self._evict_instance(t, victim)
+        if machine is None:
+            return False
+        machine.place(instance)
+        self._start_running(t, instance, machine.machine_id)
+        return True
+
+    def _find_alloc_room(self, alloc_collection_id: int,
+                         request: Resources) -> Optional[Instance]:
+        alloc_set = self._collections.get(alloc_collection_id)
+        if alloc_set is None or alloc_set.is_done:
+            return None
+        for alloc_instance in alloc_set.instances:
+            if (alloc_instance.state is InstanceState.RUNNING
+                    and request.fits_in(alloc_instance.available_in_alloc())):
+                return alloc_instance
+        return None
+
+    def _start_in_alloc(self, t: float, instance: Instance, host: Instance) -> None:
+        host.claimed = host.claimed + instance.request
+        instance.alloc_instance = host
+        self._alloc_tenants.setdefault(host.instance_id, []).append(instance)
+        self._start_running(t, instance, host.machine_id)
+
+    def _start_running(self, t: float, instance: Instance, machine_id: int) -> None:
+        instance.state = InstanceState.RUNNING
+        instance.start_time = t
+        instance.machine_id = machine_id
+        instance.n_schedules += 1
+        instance.incarnation += 1
+        is_new = instance.n_schedules == 1
+        self.counters.schedule_events += 1
+        if not is_new:
+            self.counters.reschedule_events += 1
+        self.events.instance(t, instance, EventType.SCHEDULE,
+                             machine_id=machine_id, is_new=is_new)
+
+        collection = instance.collection
+        if collection.first_running_time is None:
+            collection.first_running_time = t
+            # The collection's planned lifetime starts with its first
+            # running task (services run until ended; batch work runs for
+            # its drawn duration).
+            self._push(t + collection.planned_duration, "collection_end", collection)
+
+        self._arm_hazards(t, instance)
+
+    def _arm_hazards(self, t: float, instance: Instance) -> None:
+        rate = self.config.eviction_rate_per_hour.get(instance.tier, 0.0)
+        if rate > 0:
+            delay = float(self._rng_hazard.exponential(HOUR_SECONDS / rate))
+            self._push(t + delay, "evict", (instance, instance.incarnation))
+        if self.config.restart_rate_per_hour > 0 and not instance.is_alloc_instance:
+            delay = float(self._rng_hazard.exponential(
+                HOUR_SECONDS / self.config.restart_rate_per_hour
+            ))
+            self._push(t + delay, "restart", (instance, instance.incarnation))
+
+    # ------------------------------------------------------------ stop paths
+
+    def _stop_run(self, t: float, instance: Instance) -> None:
+        """Close the current run: bookkeeping + usage samples."""
+        machine_id = instance.machine_id
+        start = instance.start_time
+        if start is None or machine_id is None:
+            raise SimulationError(f"stopping non-running instance {instance.instance_id}")
+        if instance.alloc_instance is not None:
+            host = instance.alloc_instance
+            host.claimed = host.claimed - instance.request
+            tenants = self._alloc_tenants.get(host.instance_id)
+            if tenants and instance in tenants:
+                tenants.remove(instance)
+            instance.alloc_instance = None
+        else:
+            machine = self.machines_by_id[machine_id]
+            if instance in machine.instances:
+                machine.remove(instance)
+        instance.record_stop(t)
+        instance.incarnation += 1
+        self._emit_usage(instance, start, t, machine_id)
+
+    def _emit_usage(self, instance: Instance, start: float, end: float,
+                    machine_id: int) -> None:
+        if end <= start:
+            return
+        collection = instance.collection
+        if instance.is_alloc_instance:
+            # Alloc instances are reservations: they contribute allocation
+            # (their limit) but no usage of their own — usage comes from
+            # the tenant tasks scheduled inside them, which are sampled on
+            # the same machine.  Emitting usage here would double-count.
+            starts = self._usage_model.window_starts(start, end)
+            n = len(starts)
+            if n == 0:
+                return
+            window_ends = np.minimum(starts + self._usage_model.sample_period, end)
+            zeros = np.zeros(n)
+            self._usage.append(
+                collection_id=np.full(n, collection.collection_id, dtype=np.int64),
+                instance_index=np.full(n, instance.index, dtype=np.int32),
+                machine_id=np.full(n, machine_id, dtype=np.int32),
+                tier_code=np.full(n, TIER_CODES[collection.tier], dtype=np.int8),
+                autopilot_code=np.full(
+                    n, AUTOPILOT_CODES[collection.autopilot_mode], dtype=np.int8
+                ),
+                in_alloc=np.zeros(n, dtype=bool),
+                window_start=starts,
+                duration=window_ends - np.maximum(starts, start),
+                avg_cpu=zeros, max_cpu=zeros, avg_mem=zeros, max_mem=zeros,
+                cpu_limit=np.full(n, instance.request.cpu),
+                mem_limit=np.full(n, instance.request.mem),
+            )
+            return
+        samples = self._usage_model.sample_interval(
+            self._rng_usage, start, end,
+            cpu_limit=instance.request.cpu, mem_limit=instance.request.mem,
+            cpu_fraction=collection.cpu_usage_fraction,
+            mem_fraction=collection.mem_usage_fraction,
+        )
+        n = len(samples["window_start"])
+        if n == 0:
+            return
+        mode = AutopilotMode(collection.autopilot_mode)
+        cpu_limits = limit_trajectory(mode, instance.request.cpu,
+                                      samples["max_cpu"], self.config.autopilot)
+        mem_limits = limit_trajectory(mode, instance.request.mem,
+                                      samples["max_mem"], self.config.autopilot)
+        self._usage.append(
+            collection_id=np.full(n, collection.collection_id, dtype=np.int64),
+            instance_index=np.full(n, instance.index, dtype=np.int32),
+            machine_id=np.full(n, machine_id, dtype=np.int32),
+            tier_code=np.full(n, TIER_CODES[collection.tier], dtype=np.int8),
+            autopilot_code=np.full(
+                n, AUTOPILOT_CODES[collection.autopilot_mode], dtype=np.int8
+            ),
+            in_alloc=np.full(n, collection.alloc_collection_id is not None, dtype=bool),
+            window_start=samples["window_start"],
+            duration=samples["duration"],
+            avg_cpu=samples["avg_cpu"],
+            max_cpu=samples["max_cpu"],
+            avg_mem=samples["avg_mem"],
+            max_mem=samples["max_mem"],
+            cpu_limit=cpu_limits,
+            mem_limit=mem_limits,
+        )
+
+    def _evict_instance(self, t: float, instance: Instance) -> None:
+        """Infrastructure eviction: stop, log EVICT, requeue for placement."""
+        if instance.state is not InstanceState.RUNNING:
+            return
+        # Evicting an alloc instance first evicts its tenants.
+        if instance.is_alloc_instance:
+            for tenant in list(self._alloc_tenants.get(instance.instance_id, [])):
+                self._evict_instance(t, tenant)
+        machine_id = instance.machine_id
+        self._stop_run(t, instance)
+        instance.n_evictions += 1
+        self.counters.evictions += 1
+        self.events.instance(t, instance, EventType.EVICT, machine_id=machine_id,
+                             is_new=False)
+        instance.state = InstanceState.PENDING
+        instance.pending_since = t
+        self.events.instance(t, instance, EventType.SUBMIT, is_new=False)
+        self._pending.push(instance)
+        self._ensure_round(t)
+
+    def _on_evict_hazard(self, t: float, payload) -> None:
+        instance, incarnation = payload
+        if (instance.incarnation != incarnation
+                or instance.state is not InstanceState.RUNNING
+                or instance.collection.is_done):
+            return
+        self._evict_instance(t, instance)
+
+    def _on_restart_hazard(self, t: float, payload) -> None:
+        instance, incarnation = payload
+        if (instance.incarnation != incarnation
+                or instance.state is not InstanceState.RUNNING
+                or instance.collection.is_done):
+            return
+        # A task-level crash: the incarnation FAILs and is rescheduled.
+        machine_id = instance.machine_id
+        self.counters.task_restarts += 1
+        self.events.instance(t, instance, EventType.FAIL, machine_id=machine_id,
+                             is_new=False)
+        if self._rng_hazard.random() < 0.10:
+            # Occasionally the restart lands elsewhere: full stop + requeue.
+            self._stop_run(t, instance)
+            instance.state = InstanceState.PENDING
+            instance.pending_since = t
+            self.events.instance(t, instance, EventType.SUBMIT, is_new=False)
+            self._pending.push(instance)
+            self._ensure_round(t)
+            return
+        # The common crash-loop case: the local agent restarts the task in
+        # place within seconds.  Modeled as a logical restart — new SUBMIT
+        # and SCHEDULE events (the figure 9 "churn"), same machine, run
+        # interval uninterrupted.
+        instance.n_schedules += 1
+        self.counters.schedule_events += 1
+        self.counters.reschedule_events += 1
+        self.events.instance(t, instance, EventType.SUBMIT, is_new=False)
+        self.events.instance(t, instance, EventType.SCHEDULE,
+                             machine_id=machine_id, is_new=False)
+        if self.config.restart_rate_per_hour > 0:
+            delay = float(self._rng_hazard.exponential(
+                HOUR_SECONDS / self.config.restart_rate_per_hour
+            ))
+            self._push(t + delay, "restart", (instance, incarnation))
+
+    def _on_machine_down(self, t: float, machine: Machine) -> None:
+        if not machine.up:
+            return
+        self.counters.machine_downtimes += 1
+        machine.up = False
+        self.events.machine(t, machine.machine_id, "REMOVE",
+                            machine.capacity.cpu, machine.capacity.mem)
+        for instance in list(machine.instances):
+            if instance.tier in self.config.preempting_tiers:
+                # Maintenance is planned: production work is *drained* —
+                # migrated ahead of the outage rather than evicted.  This
+                # is Borg's eviction-rate SLO protecting important
+                # collections (section 5.2: <0.2% of prod collections ever
+                # see an eviction despite ~1 maintenance/machine/month).
+                self._drain_instance(t, instance)
+            else:
+                self._evict_instance(t, instance)
+        self._push(t + self.config.machine_downtime_duration, "machine_up", machine)
+
+    def _drain_instance(self, t: float, instance: Instance) -> None:
+        """Gracefully migrate an instance off its machine (no EVICT)."""
+        if instance.state is not InstanceState.RUNNING:
+            return
+        if instance.is_alloc_instance:
+            for tenant in list(self._alloc_tenants.get(instance.instance_id, [])):
+                self._drain_instance(t, tenant)
+        self._stop_run(t, instance)
+        instance.state = InstanceState.PENDING
+        instance.pending_since = t
+        self.events.instance(t, instance, EventType.SUBMIT, is_new=False)
+        self._pending.push(instance)
+        self._ensure_round(t)
+
+    def _on_machine_up(self, t: float, machine: Machine) -> None:
+        machine.up = True
+        self.events.machine(t, machine.machine_id, "ADD",
+                            machine.capacity.cpu, machine.capacity.mem)
+        self._ensure_round(t)
+
+    # --------------------------------------------------------- terminations
+
+    def _on_collection_end(self, t: float, collection: Collection) -> None:
+        if collection.is_done:
+            return
+        self._terminate_collection(t, collection, collection.planned_end)
+
+    def _on_collection_timeout(self, t: float, collection: Collection) -> None:
+        """User gives up on a job that never started running."""
+        if collection.is_done or collection.first_running_time is not None:
+            return
+        self._terminate_collection(t, collection, EndReason.KILL)
+
+    def _terminate_collection(self, t: float, collection: Collection,
+                              reason: EndReason) -> None:
+        collection.end_reason = reason
+        collection.end_time = t
+        event = _END_EVENT[reason]
+        for instance in collection.instances:
+            if instance.state is InstanceState.RUNNING:
+                machine_id = instance.machine_id
+                self._stop_run(t, instance)
+                self.events.instance(t, instance, event, machine_id=machine_id,
+                                     is_new=False)
+            elif instance.state is not InstanceState.DEAD:
+                self.events.instance(t, instance, event, is_new=False)
+            instance.state = InstanceState.DEAD
+            instance.end_reason = reason
+        self.events.collection(t, collection, event)
+        if collection.collection_id in self._batch_admitted:
+            self._batch_admitted.discard(collection.collection_id)
+            self._batch.release(collection)
+        # The termination freed capacity: let waiting work try again.
+        self._ensure_round(t)
+        # Dependency cascade: children are killed when the parent exits.
+        for child in self._deps.on_termination(collection):
+            self.counters.cascade_kills += 1
+            self._terminate_collection(t, child, EndReason.KILL)
+
+    def _finalize(self, horizon: float) -> None:
+        """Close run intervals of instances still running at the horizon.
+
+        No termination events are logged for them — like the real trace,
+        work still running when the observation window closes is
+        right-censored.
+        """
+        for collection in self._collections.values():
+            for instance in collection.instances:
+                if instance.state is InstanceState.RUNNING:
+                    self._stop_run(horizon, instance)

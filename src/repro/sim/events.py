@@ -1,0 +1,137 @@
+"""The simulator's event log — the raw material of trace generation.
+
+Event vocabulary follows the 2019 trace: SUBMIT, QUEUE, ENABLE,
+SCHEDULE, EVICT, FAIL, FINISH, KILL, UPDATE_RUNNING (limit changes by
+Autopilot), plus machine ADD/REMOVE events.  Collection events and
+instance events are recorded in separate streams, exactly as the trace
+separates ``collection_events`` and ``instance_events`` tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class EventType(enum.Enum):
+    SUBMIT = "SUBMIT"
+    QUEUE = "QUEUE"
+    ENABLE = "ENABLE"
+    SCHEDULE = "SCHEDULE"
+    EVICT = "EVICT"
+    FAIL = "FAIL"
+    FINISH = "FINISH"
+    KILL = "KILL"
+    UPDATE_RUNNING = "UPDATE_RUNNING"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (EventType.EVICT, EventType.FAIL, EventType.FINISH, EventType.KILL)
+
+
+#: Event types that terminate a collection or instance.
+TERMINAL_EVENTS = frozenset(
+    {EventType.EVICT, EventType.FAIL, EventType.FINISH, EventType.KILL}
+)
+
+
+@dataclass(frozen=True)
+class CollectionEvent:
+    time: float
+    collection_id: int
+    event: EventType
+    collection_type: str      # "job" | "alloc_set"
+    priority: int
+    tier: str                 # "free" | "beb" | "mid" | "prod" | "monitoring"
+    user: str
+    scheduler: str            # "borg" | "batch"
+    parent_id: int            # -1 when absent
+    alloc_collection_id: int  # -1 when absent
+    autopilot_mode: str       # "none" | "fully" | "constrained"
+    constraint: str           # required machine platform; "" when absent
+    num_instances: int
+
+
+@dataclass(frozen=True)
+class InstanceEvent:
+    time: float
+    collection_id: int
+    instance_index: int
+    event: EventType
+    machine_id: int           # -1 when not placed
+    priority: int
+    tier: str
+    cpu_request: float
+    mem_request: float
+    is_new: bool              # False for reschedules of previously-run work
+
+
+@dataclass(frozen=True)
+class MachineEvent:
+    time: float
+    machine_id: int
+    event: str                # "ADD" | "REMOVE" | "UPDATE"
+    cpu_capacity: float
+    mem_capacity: float
+
+
+class EventLog:
+    """Append-only streams of collection, instance and machine events."""
+
+    def __init__(self):
+        self.collection_events: List[CollectionEvent] = []
+        self.instance_events: List[InstanceEvent] = []
+        self.machine_events: List[MachineEvent] = []
+
+    def collection(self, time: float, collection, event: EventType) -> None:
+        """Record a collection-level event."""
+        self.collection_events.append(
+            CollectionEvent(
+                time=time,
+                collection_id=collection.collection_id,
+                event=event,
+                collection_type=collection.collection_type.value,
+                priority=collection.priority,
+                tier=collection.tier.value,
+                user=collection.user,
+                scheduler=collection.scheduler.value,
+                parent_id=collection.parent_id if collection.parent_id is not None else -1,
+                alloc_collection_id=(
+                    collection.alloc_collection_id
+                    if collection.alloc_collection_id is not None
+                    else -1
+                ),
+                autopilot_mode=collection.autopilot_mode,
+                constraint=collection.constraint,
+                num_instances=collection.num_instances,
+            )
+        )
+
+    def instance(self, time: float, instance, event: EventType,
+                 machine_id: Optional[int] = None, is_new: bool = True) -> None:
+        """Record an instance-level event."""
+        self.instance_events.append(
+            InstanceEvent(
+                time=time,
+                collection_id=instance.collection.collection_id,
+                instance_index=instance.index,
+                event=event,
+                machine_id=machine_id if machine_id is not None else -1,
+                priority=instance.priority,
+                tier=instance.tier.value,
+                cpu_request=instance.request.cpu,
+                mem_request=instance.request.mem,
+                is_new=is_new,
+            )
+        )
+
+    def machine(self, time: float, machine_id: int, event: str,
+                cpu_capacity: float, mem_capacity: float) -> None:
+        self.machine_events.append(
+            MachineEvent(time, machine_id, event, cpu_capacity, mem_capacity)
+        )
+
+    def __len__(self) -> int:
+        return (len(self.collection_events) + len(self.instance_events)
+                + len(self.machine_events))

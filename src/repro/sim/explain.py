@@ -1,0 +1,255 @@
+"""Explainable scheduling (paper section 10, research direction 1).
+
+"It would be nice to be able to provide explanations for why the
+scheduler made the decisions it made — either to help system operators
+understand what is going on, or to provide guidance to end users on how
+they could better use the cluster."
+
+This module answers, for a given request against a fleet snapshot:
+which machines admit it, why each of the others rejects it (down /
+CPU-bound / memory-bound / both), whether preemption could make room and
+at what cost, and — if nothing works — what the user could change
+(smaller request, higher tier) to get placed.  It is a diagnostic
+companion to :class:`~repro.sim.scheduler.PlacementPolicy`: same
+admission arithmetic, exhaustive instead of sampled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.entities import Instance
+from repro.sim.machine import Machine
+from repro.sim.priority import Tier
+from repro.sim.resources import Resources
+from repro.sim.scheduler import PlacementPolicy, SchedulerParams
+
+
+class Verdict(enum.Enum):
+    """Why one machine does (not) host the request."""
+
+    FITS = "fits"
+    MACHINE_DOWN = "machine down"
+    CPU_BOUND = "insufficient CPU headroom"
+    MEM_BOUND = "insufficient memory headroom"
+    CPU_AND_MEM_BOUND = "insufficient CPU and memory headroom"
+    TOO_SMALL = "machine smaller than the request"
+    CONSTRAINT_MISMATCH = "platform does not satisfy the constraint"
+    PREEMPTIBLE = "fits after preempting lower-tier work"
+
+
+@dataclass(frozen=True)
+class MachineVerdict:
+    """One machine's assessment."""
+
+    machine_id: int
+    verdict: Verdict
+    #: Admission headroom (over-commit applied) at assessment time.
+    headroom_cpu: float
+    headroom_mem: float
+    #: Best-fit score when the machine fits (smaller = tighter).
+    score: Optional[float] = None
+    #: Victims that would free enough room, when verdict is PREEMPTIBLE.
+    victims: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass
+class PlacementExplanation:
+    """The full decision record for one request."""
+
+    request: Resources
+    tier: Tier
+    verdicts: List[MachineVerdict]
+    chosen_machine_id: Optional[int]
+    preemption_considered: bool
+
+    @property
+    def placeable(self) -> bool:
+        return self.chosen_machine_id is not None
+
+    def count(self, verdict: Verdict) -> int:
+        return sum(1 for v in self.verdicts if v.verdict is verdict)
+
+    def summary(self) -> Dict[str, int]:
+        """Verdict histogram over the fleet."""
+        out: Dict[str, int] = {}
+        for v in self.verdicts:
+            out[v.verdict.value] = out.get(v.verdict.value, 0) + 1
+        return out
+
+    def advice(self) -> List[str]:
+        """Actionable guidance for the submitting user."""
+        tips: List[str] = []
+        if self.placeable:
+            return tips
+        n = len(self.verdicts)
+        cpu_bound = self.count(Verdict.CPU_BOUND) + self.count(Verdict.CPU_AND_MEM_BOUND)
+        mem_bound = self.count(Verdict.MEM_BOUND) + self.count(Verdict.CPU_AND_MEM_BOUND)
+        too_small = self.count(Verdict.TOO_SMALL)
+        if too_small == n:
+            tips.append(
+                "the request exceeds every machine in the cell: split the "
+                "work across more, smaller tasks"
+            )
+            return tips
+        if too_small > n // 2:
+            tips.append(
+                f"{too_small}/{n} machines are smaller than the request; "
+                "a smaller per-task shape would open most of the cell"
+            )
+        mismatched = self.count(Verdict.CONSTRAINT_MISMATCH)
+        if mismatched > n // 2:
+            tips.append(
+                f"the placement constraint rules out {mismatched}/{n} "
+                "machines; dropping or widening it would open the cell"
+            )
+        if cpu_bound > mem_bound and cpu_bound > 0:
+            tips.append("the cell is CPU-constrained right now: reducing the "
+                        "CPU request would help most")
+        elif mem_bound > 0:
+            tips.append("the cell is memory-constrained right now: reducing "
+                        "the memory request would help most")
+        if not self.preemption_considered:
+            tips.append("this tier cannot preempt; production-tier work "
+                        "would be placed by evicting best-effort tasks")
+        elif self.count(Verdict.PREEMPTIBLE) == 0:
+            tips.append("even preemption cannot make room: the blocking "
+                        "work is at equal or higher priority")
+        tips.append("waiting will help: capacity frees as running work ends")
+        return tips
+
+
+def explain_placement(machines: Sequence[Machine], request: Resources,
+                      tier: Tier, params: SchedulerParams,
+                      preempting_tiers: Sequence[Tier] = (Tier.PROD,
+                                                          Tier.MONITORING),
+                      constraint: str = "",
+                      ) -> PlacementExplanation:
+    """Exhaustively assess ``request`` against every machine.
+
+    Mirrors :class:`PlacementPolicy` admission arithmetic exactly, but
+    scans the whole fleet and records *why* for each machine rather than
+    stopping at the first fit.  Intended for operator/user diagnostics,
+    not the scheduling hot path.
+    """
+    verdicts: List[MachineVerdict] = []
+    best: Optional[Tuple[float, int]] = None
+    considers_preemption = tier in preempting_tiers
+
+    for machine in machines:
+        cap = machine.capacity
+        bound_cpu = cap.cpu * params.overcommit_cpu
+        bound_mem = cap.mem * params.overcommit_mem
+        headroom_cpu = bound_cpu - machine.allocated.cpu
+        headroom_mem = bound_mem - machine.allocated.mem
+
+        if not machine.up:
+            verdicts.append(MachineVerdict(machine.machine_id,
+                                           Verdict.MACHINE_DOWN,
+                                           headroom_cpu, headroom_mem))
+            continue
+        if constraint and machine.platform != constraint:
+            verdicts.append(MachineVerdict(machine.machine_id,
+                                           Verdict.CONSTRAINT_MISMATCH,
+                                           headroom_cpu, headroom_mem))
+            continue
+        if request.cpu > bound_cpu or request.mem > bound_mem:
+            verdicts.append(MachineVerdict(machine.machine_id,
+                                           Verdict.TOO_SMALL,
+                                           headroom_cpu, headroom_mem))
+            continue
+        cpu_ok = request.cpu <= headroom_cpu + 1e-12
+        mem_ok = request.mem <= headroom_mem + 1e-12
+        if cpu_ok and mem_ok:
+            score = max(
+                (headroom_cpu - request.cpu) / max(cap.cpu, 1e-9),
+                (headroom_mem - request.mem) / max(cap.mem, 1e-9),
+            )
+            verdicts.append(MachineVerdict(machine.machine_id, Verdict.FITS,
+                                           headroom_cpu, headroom_mem,
+                                           score=score))
+            if best is None or score < best[0]:
+                best = (score, machine.machine_id)
+            continue
+
+        # Doesn't fit as-is; could preemption free enough?
+        victims = _preemption_plan(machine, request, tier, params)
+        if considers_preemption and victims is not None:
+            verdicts.append(MachineVerdict(
+                machine.machine_id, Verdict.PREEMPTIBLE,
+                headroom_cpu, headroom_mem,
+                victims=tuple(v.instance_id for v in victims),
+            ))
+            continue
+        if not cpu_ok and not mem_ok:
+            verdict = Verdict.CPU_AND_MEM_BOUND
+        elif not cpu_ok:
+            verdict = Verdict.CPU_BOUND
+        else:
+            verdict = Verdict.MEM_BOUND
+        verdicts.append(MachineVerdict(machine.machine_id, verdict,
+                                       headroom_cpu, headroom_mem))
+
+    chosen = best[1] if best is not None else None
+    if chosen is None and considers_preemption:
+        # Fall back to the cheapest preemption plan, like the scheduler.
+        preemptibles = [v for v in verdicts if v.verdict is Verdict.PREEMPTIBLE]
+        if preemptibles:
+            chosen = min(preemptibles, key=lambda v: len(v.victims)).machine_id
+    return PlacementExplanation(
+        request=request, tier=tier, verdicts=verdicts,
+        chosen_machine_id=chosen,
+        preemption_considered=considers_preemption,
+    )
+
+
+def _preemption_plan(machine: Machine, request: Resources, tier: Tier,
+                     params: SchedulerParams) -> Optional[List[Instance]]:
+    """Victim set that would admit ``request`` on ``machine`` (or None)."""
+    if not request.fits_in(machine.capacity):
+        return None
+    victims = machine.preemptible_below(tier.rank)
+    freed = Resources.ZERO
+    chosen: List[Instance] = []
+    for victim in victims:
+        freed = freed + victim.request
+        chosen.append(victim)
+        alloc = machine.allocated - freed
+        if (alloc.cpu + request.cpu <= machine.capacity.cpu * params.overcommit_cpu
+                and alloc.mem + request.mem
+                <= machine.capacity.mem * params.overcommit_mem):
+            return chosen
+    return None
+
+
+def format_explanation(explanation: PlacementExplanation,
+                       max_machines: int = 10) -> str:
+    """Human-readable rendering (the operator-facing view)."""
+    lines = [
+        f"request: cpu={explanation.request.cpu:.3f} "
+        f"mem={explanation.request.mem:.3f} tier={explanation.tier.value}",
+    ]
+    if explanation.placeable:
+        lines.append(f"decision: place on machine {explanation.chosen_machine_id}")
+    else:
+        lines.append("decision: UNPLACEABLE right now")
+    lines.append("fleet verdicts:")
+    for verdict, count in sorted(explanation.summary().items(),
+                                 key=lambda kv: -kv[1]):
+        lines.append(f"  {count:4d} x {verdict}")
+    shown = 0
+    for v in explanation.verdicts:
+        if v.verdict in (Verdict.FITS, Verdict.PREEMPTIBLE) and shown < max_machines:
+            extra = (f" victims={list(v.victims)}" if v.victims else
+                     f" score={v.score:.3f}" if v.score is not None else "")
+            lines.append(f"  machine {v.machine_id}: {v.verdict.value}"
+                         f" (headroom cpu={v.headroom_cpu:.3f}"
+                         f" mem={v.headroom_mem:.3f}){extra}")
+            shown += 1
+    advice = explanation.advice()
+    if advice:
+        lines.append("advice:")
+        lines.extend(f"  - {tip}" for tip in advice)
+    return "\n".join(lines)

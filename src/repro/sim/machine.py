@@ -1,0 +1,98 @@
+"""Machines: heterogeneous capacity, allocation accounting, over-commit.
+
+A machine tracks the sum of schedule-time limits of the instances placed
+on it.  Borg over-commits: the admission check allows the allocated sum
+to exceed physical capacity by a per-tier over-commit factor, betting
+that instances under-use their limits (paper section 4, figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.entities import Instance
+from repro.sim.priority import Tier
+from repro.sim.resources import Resources
+from repro.util.errors import SimulationError
+
+
+class Machine:
+    """One node of a cell."""
+
+    def __init__(self, machine_id: int, capacity: Resources,
+                 platform: str = "default", utc_offset_hours: float = 0.0):
+        self.machine_id = machine_id
+        self.capacity = capacity
+        self.platform = platform
+        self.utc_offset_hours = utc_offset_hours
+        self.up = True
+        self.allocated = Resources.ZERO
+        #: Insertion-ordered (dict-as-set): iteration order must be
+        #: deterministic — a real set would iterate by object address and
+        #: make eviction order differ between identical runs.
+        self.instances: Dict[Instance, None] = {}
+
+    def __repr__(self) -> str:
+        return (f"Machine({self.machine_id}, cap=({self.capacity.cpu:.2f},"
+                f" {self.capacity.mem:.2f}), alloc=({self.allocated.cpu:.2f},"
+                f" {self.allocated.mem:.2f}), n={len(self.instances)})")
+
+    # -- admission ----------------------------------------------------------------
+
+    def admission_capacity(self, overcommit: float) -> Resources:
+        """Capacity inflated by the over-commit factor for admission checks."""
+        if overcommit < 1.0:
+            raise SimulationError(f"overcommit factor must be >= 1, got {overcommit}")
+        return self.capacity * overcommit
+
+    def fits(self, request: Resources, overcommit: float = 1.0) -> bool:
+        """Can ``request`` be admitted under the given over-commit factor?"""
+        if not self.up:
+            return False
+        return (self.allocated + request).fits_in(self.admission_capacity(overcommit))
+
+    def headroom(self, overcommit: float = 1.0) -> Resources:
+        """Remaining admittable resources."""
+        return self.admission_capacity(overcommit) - self.allocated
+
+    # -- placement ----------------------------------------------------------------
+
+    def place(self, instance: Instance) -> None:
+        if not self.up:
+            raise SimulationError(f"placing on down machine {self.machine_id}")
+        if instance in self.instances:
+            raise SimulationError(
+                f"instance {instance.instance_id} already on machine {self.machine_id}"
+            )
+        self.instances[instance] = None
+        self.allocated = self.allocated + instance.request
+
+    def remove(self, instance: Instance) -> None:
+        if instance not in self.instances:
+            raise SimulationError(
+                f"instance {instance.instance_id} not on machine {self.machine_id}"
+            )
+        del self.instances[instance]
+        self.allocated = self.allocated - instance.request
+
+    # -- preemption support ----------------------------------------------------------
+
+    def preemptible_below(self, rank: int) -> List[Instance]:
+        """Instances whose tier rank is strictly below ``rank``, largest first.
+
+        Ordering by descending request size frees the most resources with
+        the fewest evictions, which is what a real preemption pass aims
+        for.
+        """
+        victims = [i for i in self.instances if i.tier.rank < rank]
+        victims.sort(key=lambda i: (i.tier.rank,
+                                    -(i.request.cpu + i.request.mem),
+                                    i.instance_id))
+        return victims
+
+    def allocation_ratio(self) -> Dict[str, float]:
+        """allocated / capacity per dimension (over-commit diagnostics)."""
+        return {
+            "cpu": self.allocated.cpu / self.capacity.cpu if self.capacity.cpu > 0 else 0.0,
+            "mem": self.allocated.mem / self.capacity.mem if self.capacity.mem > 0 else 0.0,
+        }

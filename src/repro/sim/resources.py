@@ -1,0 +1,61 @@
+"""Two-dimensional resource vectors (CPU in NCUs, memory in NMUs).
+
+Both trace generations normalize resources so the largest machine is
+1.0 in each dimension; all quantities here live on that scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resources:
+    """An (NCU, NMU) pair; immutable, supports elementwise arithmetic."""
+
+    cpu: float
+    mem: float
+
+    def __post_init__(self):
+        if self.cpu < -1e-9 or self.mem < -1e-9:
+            raise ValueError(f"negative resources: cpu={self.cpu}, mem={self.mem}")
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu + other.cpu, self.mem + other.mem)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        # Clamp tiny negative residue from float accumulation.
+        return Resources(max(0.0, self.cpu - other.cpu), max(0.0, self.mem - other.mem))
+
+    def __mul__(self, k: float) -> "Resources":
+        return Resources(self.cpu * k, self.mem * k)
+
+    __rmul__ = __mul__
+
+    def fits_in(self, capacity: "Resources") -> bool:
+        """True if this request fits inside ``capacity`` on both dimensions."""
+        return self.cpu <= capacity.cpu + 1e-12 and self.mem <= capacity.mem + 1e-12
+
+    def scale_to(self, other: "Resources") -> float:
+        """Largest k such that k * self fits in other (both dims)."""
+        ks = []
+        if self.cpu > 0:
+            ks.append(other.cpu / self.cpu)
+        if self.mem > 0:
+            ks.append(other.mem / self.mem)
+        return min(ks) if ks else float("inf")
+
+    def dominant_share(self, capacity: "Resources") -> float:
+        """The larger of cpu/capacity.cpu and mem/capacity.mem (DRF-style)."""
+        shares = []
+        if capacity.cpu > 0:
+            shares.append(self.cpu / capacity.cpu)
+        if capacity.mem > 0:
+            shares.append(self.mem / capacity.mem)
+        return max(shares) if shares else 0.0
+
+    def is_zero(self) -> bool:
+        return self.cpu <= 1e-12 and self.mem <= 1e-12
+
+
+Resources.ZERO = Resources(0.0, 0.0)

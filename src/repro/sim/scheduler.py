@@ -1,0 +1,175 @@
+"""Placement: machine selection, over-commit admission, and preemption.
+
+Borg's scheduling algorithms are "generally relatively simple greedy
+heuristics" (paper section 10); we implement the classic shape: feasibility
+check under per-dimension over-commit factors, best-fit scoring over a
+sampled candidate set (power-of-k-choices keeps month-scale runs fast
+without changing behavior materially), and priority preemption — a
+production-tier task may evict lower-tier instances to make room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.entities import Instance
+from repro.sim.machine import Machine
+from repro.sim.resources import Resources
+
+
+@dataclass(frozen=True)
+class SchedulerParams:
+    """Placement-policy knobs (per era)."""
+
+    #: Admission over-commit factor for CPU (allocated may reach
+    #: capacity * factor).  2011 over-committed CPU aggressively; 2019
+    #: over-commits CPU and memory comparably (paper section 4).
+    overcommit_cpu: float = 1.5
+    #: Admission over-commit factor for memory.
+    overcommit_mem: float = 1.4
+    #: Number of randomly sampled candidate machines per placement.
+    candidates: int = 12
+    #: Scheduler processes the pending queue in rounds this many seconds
+    #: apart (drives the figure 10 scheduling-delay distribution).
+    round_interval: float = 5.0
+    #: Maximum placement decisions per round.
+    round_capacity: int = 2000
+
+
+class PlacementPolicy:
+    """Stateless placement decisions over a machine fleet."""
+
+    def __init__(self, params: SchedulerParams, rng: np.random.Generator):
+        self.params = params
+        self.rng = rng
+
+    def _admissible(self, machine: Machine, request: Resources,
+                    constraint: str = "") -> bool:
+        if not machine.up:
+            return False
+        if constraint and machine.platform != constraint:
+            return False
+        cap = machine.capacity
+        alloc = machine.allocated
+        return (alloc.cpu + request.cpu <= cap.cpu * self.params.overcommit_cpu + 1e-12
+                and alloc.mem + request.mem <= cap.mem * self.params.overcommit_mem + 1e-12)
+
+    def _score(self, machine: Machine, request: Resources) -> float:
+        """Best-fit score: smaller is better (tighter remaining headroom)."""
+        cap = machine.capacity
+        free_cpu = cap.cpu * self.params.overcommit_cpu - machine.allocated.cpu - request.cpu
+        free_mem = cap.mem * self.params.overcommit_mem - machine.allocated.mem - request.mem
+        return max(free_cpu / max(cap.cpu, 1e-9), free_mem / max(cap.mem, 1e-9))
+
+    def find_machine(self, machines: Sequence[Machine], request: Resources,
+                     constraint: str = "") -> Optional[Machine]:
+        """Best-fit over a sampled candidate set; None if nothing admits.
+
+        ``constraint``, when non-empty, restricts placement to machines of
+        that platform (a machine-attribute constraint).
+        """
+        n = len(machines)
+        if n == 0:
+            return None
+        best: Optional[Machine] = None
+        best_score = float("inf")
+        if self.params.candidates < n:
+            # Sampling with replacement: far cheaper than a permutation
+            # draw, and an occasional duplicate candidate is harmless.
+            idx = self.rng.integers(0, n, size=self.params.candidates)
+            for i in idx:
+                m = machines[i]
+                if self._admissible(m, request, constraint):
+                    score = self._score(m, request)
+                    if score < best_score:
+                        best, best_score = m, score
+            if best is not None:
+                return best
+        # Sampled set failed: full scan so feasibility is never missed.
+        for m in machines:
+            if self._admissible(m, request, constraint):
+                score = self._score(m, request)
+                if score < best_score:
+                    best, best_score = m, score
+        return best
+
+    def find_preemption(self, machines: Sequence[Machine], request: Resources,
+                        rank: int,
+                        constraint: str = "") -> Optional[Tuple[Machine, List[Instance]]]:
+        """A machine where evicting lower-rank instances admits ``request``.
+
+        Returns the machine plus the minimal victim prefix (largest
+        victims first), or None if no machine can be freed.  Only
+        instances with tier rank strictly below ``rank`` are eligible —
+        production never evicts production (section 2).
+        """
+        n = len(machines)
+        if n == 0:
+            return None
+        # Preemption search is expensive (victim enumeration per machine);
+        # sample a candidate set like placement does.
+        if n <= 24:
+            candidates = list(machines)
+        else:
+            candidates = [machines[i] for i in self.rng.integers(0, n, size=24)]
+        best: Optional[Tuple[Machine, List[Instance]]] = None
+        best_victims = float("inf")
+        for m in candidates:
+            if not m.up or not request.fits_in(m.capacity):
+                continue
+            if constraint and m.platform != constraint:
+                continue
+            victims = m.preemptible_below(rank)
+            if not victims:
+                continue
+            freed = Resources.ZERO
+            chosen: List[Instance] = []
+            # Simulate the allocation after each eviction until it fits.
+            for v in victims:
+                freed = freed + v.request
+                chosen.append(v)
+                alloc = m.allocated - freed
+                if (alloc.cpu + request.cpu <= m.capacity.cpu * self.params.overcommit_cpu
+                        and alloc.mem + request.mem
+                        <= m.capacity.mem * self.params.overcommit_mem):
+                    if len(chosen) < best_victims:
+                        best = (m, list(chosen))
+                        best_victims = len(chosen)
+                    break
+        return best
+
+
+class PendingQueue:
+    """The scheduler's pending set, ordered by (tier rank desc, FIFO).
+
+    Production-tier work is always dispatched before best-effort work,
+    which is what makes production scheduling delays the fastest in
+    figure 10b.
+    """
+
+    def __init__(self):
+        self._items: List[Tuple[int, int, Instance]] = []
+        self._seq = 0
+
+    def push(self, instance: Instance) -> None:
+        self._items.append((-instance.tier.rank, self._seq, instance))
+        self._seq += 1
+
+    def pop_batch(self, limit: int) -> List[Instance]:
+        """Remove and return up to ``limit`` instances in dispatch order."""
+        if not self._items:
+            return []
+        self._items.sort()
+        batch = [item[2] for item in self._items[:limit]]
+        del self._items[:limit]
+        return batch
+
+    def remove_dead(self) -> None:
+        """Drop instances whose collection already terminated."""
+        self._items = [it for it in self._items if not it[2].collection.is_done]
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,42 @@
+"""Statistics substrate: the estimators behind every figure and table.
+
+The paper presents its results as Complementary Cumulative Distribution
+Functions (CCDFs), power-law (Pareto) tail fits with R² goodness of fit,
+squared coefficients of variation (C²), top-k%% load shares ("hogs and
+mice"), Pearson correlations of bucketed medians, and the 2019 trace's
+21-bucket high-percentile-biased CPU-utilization histograms.  Each of
+those lives here as a small, independently tested unit.
+"""
+
+from repro.stats.ccdf import Ccdf, ccdf_at, empirical_ccdf
+from repro.stats.correlation import bucketed_medians, pearson
+from repro.stats.distributions import (
+    bounded_pareto_sample,
+    pareto_sample,
+)
+from repro.stats.histogram import CPU_HISTOGRAM_PERCENTILES, cpu_usage_histogram, histogram
+from repro.stats.moments import DistributionSummary, squared_cv, summarize
+from repro.stats.pareto import ParetoFit, fit_pareto_ccdf, fit_pareto_mle
+from repro.stats.tails import HogMouseSplit, split_hogs_mice, top_share
+
+__all__ = [
+    "Ccdf",
+    "ccdf_at",
+    "empirical_ccdf",
+    "bucketed_medians",
+    "pearson",
+    "bounded_pareto_sample",
+    "pareto_sample",
+    "CPU_HISTOGRAM_PERCENTILES",
+    "cpu_usage_histogram",
+    "histogram",
+    "DistributionSummary",
+    "squared_cv",
+    "summarize",
+    "ParetoFit",
+    "fit_pareto_ccdf",
+    "fit_pareto_mle",
+    "top_share",
+    "HogMouseSplit",
+    "split_hogs_mice",
+]

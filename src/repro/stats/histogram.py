@@ -1,0 +1,50 @@
+"""Histograms, including the 2019 trace's biased CPU-usage histogram.
+
+The 2019 trace records, for every 5-minute sample of every instance, a
+21-element histogram of CPU utilization whose bucket boundaries are
+percentile positions biased towards the high end (the tail is what
+matters for overload detection and Autopilot).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: The percentile positions captured by the 2019 trace's per-sample CPU
+#: histogram (21 elements, biased towards high percentiles).
+CPU_HISTOGRAM_PERCENTILES: Tuple[float, ...] = (
+    0, 10, 20, 30, 40, 50, 60, 70, 80, 90,
+    91, 92, 93, 94, 95, 96, 97, 98, 99, 99.9, 100,
+)
+
+
+def histogram(samples: Sequence[float], edges: Sequence[float]) -> np.ndarray:
+    """Counts of samples per bucket defined by sorted ``edges``.
+
+    Returns ``len(edges) - 1`` counts; samples outside [edges[0],
+    edges[-1]] are clipped into the end buckets so no data is lost.
+    """
+    edges = np.asarray(edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("edges must be a 1-D array of at least two values")
+    if (np.diff(edges) <= 0).any():
+        raise ValueError("edges must be strictly increasing")
+    arr = np.clip(np.asarray(samples, dtype=float), edges[0], edges[-1])
+    counts, _ = np.histogram(arr, bins=edges)
+    return counts
+
+
+def cpu_usage_histogram(fine_grained_usage: Sequence[float]) -> np.ndarray:
+    """The 21-element biased percentile summary of one 5-minute window.
+
+    ``fine_grained_usage`` is the within-window sequence of instantaneous
+    CPU usage readings; the result is usage at each of
+    :data:`CPU_HISTOGRAM_PERCENTILES` — exactly the encoding the 2019
+    trace ships per usage sample.
+    """
+    arr = np.asarray(fine_grained_usage, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cpu_usage_histogram requires at least one reading")
+    return np.percentile(arr, CPU_HISTOGRAM_PERCENTILES)

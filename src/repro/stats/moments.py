@@ -1,0 +1,89 @@
+"""Moments and distribution summaries (paper Table 2).
+
+The paper's headline variability statistic is the squared coefficient of
+variation, C² = variance / mean², which is invariant to normalization —
+the property that makes 2011-vs-2019 comparisons meaningful despite
+different machine-size scalings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def squared_cv(samples: Sequence[float]) -> float:
+    """C² = variance / mean² (unbiased variance, ddof=1).
+
+    An exponential distribution has C² = 1; the paper measures C² in the
+    tens of thousands for Borg job resource-hours.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("squared_cv requires at least two samples")
+    mean = arr.mean()
+    if mean == 0:
+        raise ValueError("squared_cv undefined for zero-mean sample")
+    return float(arr.var(ddof=1) / mean**2)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """The row format of the paper's Table 2."""
+
+    n: int
+    median: float
+    mean: float
+    variance: float
+    p90: float
+    p99: float
+    p999: float
+    maximum: float
+    top_1pct_share: float
+    top_01pct_share: float
+    squared_cv: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "median": self.median,
+            "mean": self.mean,
+            "variance": self.variance,
+            "90%ile": self.p90,
+            "99%ile": self.p99,
+            "99.9%ile": self.p999,
+            "maximum": self.maximum,
+            "top 1% jobs load": self.top_1pct_share,
+            "top 0.1% jobs load": self.top_01pct_share,
+            "C^2": self.squared_cv,
+        }
+
+
+def summarize(samples: Sequence[float]) -> DistributionSummary:
+    """Compute every Table 2 statistic for one sample.
+
+    Shares are the fraction of the *total* carried by the largest 1%% and
+    0.1%% of samples — the paper's hogs-vs-mice decomposition.
+    """
+    from repro.stats.tails import top_share
+
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("summarize requires at least two samples")
+    if (arr < 0).any():
+        raise ValueError("summarize expects non-negative resource quantities")
+    return DistributionSummary(
+        n=int(arr.size),
+        median=float(np.median(arr)),
+        mean=float(arr.mean()),
+        variance=float(arr.var(ddof=1)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        p999=float(np.percentile(arr, 99.9)),
+        maximum=float(arr.max()),
+        top_1pct_share=top_share(arr, 0.01),
+        top_01pct_share=top_share(arr, 0.001),
+        squared_cv=squared_cv(arr),
+    )

@@ -1,0 +1,71 @@
+"""Heavy-tail share statistics: the hogs-and-mice decomposition.
+
+The paper's section 7 finding: the top 1% of jobs ("hogs") consume over
+99% of all resources, leaving the remaining 99% of jobs as "mice".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def top_share(samples: Sequence[float], fraction: float) -> float:
+    """Fraction of the total carried by the largest ``fraction`` of samples.
+
+    ``top_share(x, 0.01)`` is the paper's "top 1%% jobs load".  At least
+    one sample is always counted in the top group so the statistic is
+    defined for small samples.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("top_share requires a non-empty sample")
+    if (arr < 0).any():
+        raise ValueError("top_share expects non-negative quantities")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    k = max(1, int(round(arr.size * fraction)))
+    top = np.partition(arr, arr.size - k)[arr.size - k:]
+    return float(top.sum() / total)
+
+
+@dataclass(frozen=True)
+class HogMouseSplit:
+    """Samples partitioned at a top-fraction threshold."""
+
+    threshold: float
+    hog_count: int
+    mouse_count: int
+    hog_load_share: float
+    hogs: np.ndarray
+    mice: np.ndarray
+
+
+def split_hogs_mice(samples: Sequence[float], hog_fraction: float = 0.01) -> HogMouseSplit:
+    """Partition samples into the largest ``hog_fraction`` and the rest.
+
+    Ties at the threshold are broken so that exactly ``round(n * f)``
+    (at least one) samples are hogs, matching the top_share convention.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("split_hogs_mice requires a non-empty sample")
+    k = max(1, int(round(arr.size * hog_fraction)))
+    order = np.argsort(arr, kind="stable")
+    mice_idx, hog_idx = order[:-k], order[-k:]
+    hogs = arr[hog_idx]
+    mice = arr[mice_idx]
+    total = arr.sum()
+    return HogMouseSplit(
+        threshold=float(hogs.min()) if hogs.size else float("inf"),
+        hog_count=int(hogs.size),
+        mouse_count=int(mice.size),
+        hog_load_share=float(hogs.sum() / total) if total > 0 else 0.0,
+        hogs=np.sort(hogs),
+        mice=np.sort(mice),
+    )

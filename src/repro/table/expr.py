@@ -1,0 +1,155 @@
+"""A tiny expression language for predicates and derived columns.
+
+``col("cpu") * col("hours") > 1.0`` builds an :class:`Expr` tree that is
+evaluated against a :class:`~repro.table.table.Table`, yielding either a
+boolean mask (for filters) or a value array (for derived columns).  This
+mirrors the role SQL expressions played in the paper's BigQuery queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.table.column import Column
+
+
+class Expr:
+    """A lazily-evaluated expression over table columns."""
+
+    def __init__(self, fn: Callable[["Table"], np.ndarray], description: str):  # noqa: F821
+        self._fn = fn
+        self.description = description
+
+    def evaluate(self, table) -> np.ndarray:
+        """Evaluate against ``table``, returning a numpy array of row values."""
+        out = self._fn(table)
+        if isinstance(out, Column):
+            out = out.values
+        return np.asarray(out)
+
+    # -- comparisons (produce boolean Exprs) --------------------------------
+
+    def _cmp(self, other: Any, op: Callable, sym: str) -> "Expr":
+        rhs = other
+
+        def fn(table):
+            left = self.evaluate(table)
+            right = rhs.evaluate(table) if isinstance(rhs, Expr) else rhs
+            return np.asarray(op(left, right), dtype=bool)
+
+        rdesc = rhs.description if isinstance(rhs, Expr) else repr(rhs)
+        return Expr(fn, f"({self.description} {sym} {rdesc})")
+
+    def __eq__(self, other) -> "Expr":  # type: ignore[override]
+        return self._cmp(other, lambda a, b: a == b, "==")
+
+    def __ne__(self, other) -> "Expr":  # type: ignore[override]
+        return self._cmp(other, lambda a, b: a != b, "!=")
+
+    def __lt__(self, other) -> "Expr":
+        return self._cmp(other, lambda a, b: a < b, "<")
+
+    def __le__(self, other) -> "Expr":
+        return self._cmp(other, lambda a, b: a <= b, "<=")
+
+    def __gt__(self, other) -> "Expr":
+        return self._cmp(other, lambda a, b: a > b, ">")
+
+    def __ge__(self, other) -> "Expr":
+        return self._cmp(other, lambda a, b: a >= b, ">=")
+
+    def __hash__(self):
+        raise TypeError("Expr is not hashable")
+
+    # -- boolean algebra -----------------------------------------------------
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return self._cmp(other, lambda a, b: np.logical_and(a, b), "&")
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return self._cmp(other, lambda a, b: np.logical_or(a, b), "|")
+
+    def __invert__(self) -> "Expr":
+        return Expr(lambda t: np.logical_not(self.evaluate(t)), f"~{self.description}")
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _arith(self, other: Any, op: Callable, sym: str, reflected: bool = False) -> "Expr":
+        rhs = other
+
+        def fn(table):
+            left = self.evaluate(table)
+            right = rhs.evaluate(table) if isinstance(rhs, Expr) else rhs
+            return op(right, left) if reflected else op(left, right)
+
+        rdesc = rhs.description if isinstance(rhs, Expr) else repr(rhs)
+        desc = f"({rdesc} {sym} {self.description})" if reflected else f"({self.description} {sym} {rdesc})"
+        return Expr(fn, desc)
+
+    def __add__(self, other) -> "Expr":
+        return self._arith(other, np.add, "+")
+
+    def __radd__(self, other) -> "Expr":
+        return self._arith(other, np.add, "+", reflected=True)
+
+    def __sub__(self, other) -> "Expr":
+        return self._arith(other, np.subtract, "-")
+
+    def __rsub__(self, other) -> "Expr":
+        return self._arith(other, np.subtract, "-", reflected=True)
+
+    def __mul__(self, other) -> "Expr":
+        return self._arith(other, np.multiply, "*")
+
+    def __rmul__(self, other) -> "Expr":
+        return self._arith(other, np.multiply, "*", reflected=True)
+
+    def __truediv__(self, other) -> "Expr":
+        return self._arith(other, np.true_divide, "/")
+
+    def __rtruediv__(self, other) -> "Expr":
+        return self._arith(other, np.true_divide, "/", reflected=True)
+
+    def __neg__(self) -> "Expr":
+        return Expr(lambda t: np.negative(self.evaluate(t)), f"-{self.description}")
+
+    # -- convenience ----------------------------------------------------------
+
+    def isin(self, values: Iterable) -> "Expr":
+        vals = list(values)
+
+        def fn(table):
+            arr = self.evaluate(table)
+            if arr.dtype == object:
+                lookup = set(vals)
+                return np.fromiter((v in lookup for v in arr), dtype=bool, count=len(arr))
+            return np.isin(arr, vals)
+
+        return Expr(fn, f"{self.description}.isin({vals!r})")
+
+    def between(self, lo, hi) -> "Expr":
+        """Inclusive range test, matching SQL BETWEEN."""
+        return (self >= lo) & (self <= hi)
+
+    def __repr__(self) -> str:
+        return f"Expr({self.description})"
+
+
+def col(name: str) -> Expr:
+    """Reference a column by name, for use in filters and derived columns."""
+
+    def fn(table):
+        return table.column(name).values
+
+    return Expr(fn, name)
+
+
+def lit(value: Any) -> Expr:
+    """A constant broadcast to the table's length."""
+
+    def fn(table):
+        return np.full(len(table), value)
+
+    return Expr(fn, repr(value))

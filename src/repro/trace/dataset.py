@@ -1,0 +1,93 @@
+"""The in-memory trace dataset: five tables plus cell metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.table import Table
+
+#: Schema of each 2019-style table (column name order is canonical).
+SCHEMA_2019: Dict[str, List[str]] = {
+    "collection_events": [
+        "time", "collection_id", "type", "collection_type", "priority",
+        "tier", "user", "scheduler", "parent_collection_id",
+        "alloc_collection_id", "vertical_scaling", "constraint",
+        "num_instances",
+    ],
+    "instance_events": [
+        "time", "collection_id", "instance_index", "type", "machine_id",
+        "priority", "tier", "resource_request_cpu", "resource_request_mem",
+        "is_new",
+    ],
+    "instance_usage": [
+        "start_time", "duration", "collection_id", "instance_index",
+        "machine_id", "tier", "vertical_scaling", "in_alloc",
+        "avg_cpu", "max_cpu", "avg_mem", "max_mem",
+        "limit_cpu", "limit_mem",
+    ],
+    "machine_events": [
+        "time", "machine_id", "type", "cpu_capacity", "mem_capacity",
+    ],
+    "machine_attributes": [
+        "machine_id", "cpu_capacity", "mem_capacity", "platform",
+        "utc_offset_hours",
+    ],
+}
+
+
+@dataclass
+class TraceDataset:
+    """One cell's trace: the five 2019-style tables plus metadata.
+
+    ``era`` is "2011" or "2019"; 2011-era datasets use the same table
+    shapes (priorities are then 0-11 bands) and can be converted to the
+    legacy CSV layout with :func:`repro.trace.legacy.to_2011_tables`.
+    """
+
+    cell: str
+    era: str
+    horizon: float
+    sample_period: float
+    utc_offset_hours: float
+    capacity_cpu: float
+    capacity_mem: float
+    tables: Dict[str, Table] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for name, columns in SCHEMA_2019.items():
+            if name not in self.tables:
+                self.tables[name] = Table({c: [] for c in columns})
+            got = self.tables[name].column_names
+            if got != columns:
+                raise ValueError(
+                    f"table {name!r} has columns {got}, expected {columns}"
+                )
+
+    @property
+    def collection_events(self) -> Table:
+        return self.tables["collection_events"]
+
+    @property
+    def instance_events(self) -> Table:
+        return self.tables["instance_events"]
+
+    @property
+    def instance_usage(self) -> Table:
+        return self.tables["instance_usage"]
+
+    @property
+    def machine_events(self) -> Table:
+        return self.tables["machine_events"]
+
+    @property
+    def machine_attributes(self) -> Table:
+        return self.tables["machine_attributes"]
+
+    @property
+    def horizon_hours(self) -> float:
+        return self.horizon / 3600.0
+
+    def __repr__(self) -> str:
+        sizes = {name: len(t) for name, t in self.tables.items()}
+        return f"TraceDataset(cell={self.cell!r}, era={self.era}, rows={sizes})"

@@ -1,0 +1,119 @@
+"""Encode a simulation result into trace tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.cell import AUTOPILOT_FROM_CODE, CellResult, TIER_FROM_CODE
+from repro.table import Column, Table
+from repro.trace.dataset import TraceDataset
+
+
+def _collection_events_table(result: CellResult) -> Table:
+    events = result.events.collection_events
+    return Table({
+        "time": [e.time for e in events],
+        "collection_id": [e.collection_id for e in events],
+        "type": [e.event.value for e in events],
+        "collection_type": [e.collection_type for e in events],
+        "priority": [e.priority for e in events],
+        "tier": [e.tier for e in events],
+        "user": [e.user for e in events],
+        "scheduler": [e.scheduler for e in events],
+        "parent_collection_id": [e.parent_id for e in events],
+        "alloc_collection_id": [e.alloc_collection_id for e in events],
+        "vertical_scaling": [e.autopilot_mode for e in events],
+        "constraint": [e.constraint for e in events],
+        "num_instances": [e.num_instances for e in events],
+    })
+
+
+def _instance_events_table(result: CellResult) -> Table:
+    events = result.events.instance_events
+    return Table({
+        "time": [e.time for e in events],
+        "collection_id": [e.collection_id for e in events],
+        "instance_index": [e.instance_index for e in events],
+        "type": [e.event.value for e in events],
+        "machine_id": [e.machine_id for e in events],
+        "priority": [e.priority for e in events],
+        "tier": [e.tier for e in events],
+        "resource_request_cpu": [e.cpu_request for e in events],
+        "resource_request_mem": [e.mem_request for e in events],
+        "is_new": [e.is_new for e in events],
+    })
+
+
+def _instance_usage_table(result: CellResult) -> Table:
+    u = result.usage
+    n = len(u["window_start"])
+    tier_strings = np.empty(n, dtype=object)
+    for code, tier in TIER_FROM_CODE.items():
+        tier_strings[u["tier_code"] == code] = tier.value
+    autopilot_strings = np.empty(n, dtype=object)
+    for code, mode in AUTOPILOT_FROM_CODE.items():
+        autopilot_strings[u["autopilot_code"] == code] = mode
+    return Table({
+        "start_time": Column(u["window_start"]),
+        "duration": Column(u["duration"]),
+        "collection_id": Column(u["collection_id"].astype(np.int64)),
+        "instance_index": Column(u["instance_index"].astype(np.int64)),
+        "machine_id": Column(u["machine_id"].astype(np.int64)),
+        "tier": Column(tier_strings),
+        "vertical_scaling": Column(autopilot_strings),
+        "in_alloc": Column(u["in_alloc"].astype(bool)),
+        "avg_cpu": Column(u["avg_cpu"]),
+        "max_cpu": Column(u["max_cpu"]),
+        "avg_mem": Column(u["avg_mem"]),
+        "max_mem": Column(u["max_mem"]),
+        "limit_cpu": Column(u["cpu_limit"]),
+        "limit_mem": Column(u["mem_limit"]),
+    })
+
+
+def _machine_events_table(result: CellResult) -> Table:
+    events = result.events.machine_events
+    return Table({
+        "time": [e.time for e in events],
+        "machine_id": [e.machine_id for e in events],
+        "type": [e.event for e in events],
+        "cpu_capacity": [e.cpu_capacity for e in events],
+        "mem_capacity": [e.mem_capacity for e in events],
+    })
+
+
+def _machine_attributes_table(result: CellResult) -> Table:
+    machines = result.machines
+    return Table({
+        "machine_id": [m.machine_id for m in machines],
+        "cpu_capacity": [m.capacity.cpu for m in machines],
+        "mem_capacity": [m.capacity.mem for m in machines],
+        "platform": [m.platform for m in machines],
+        "utc_offset_hours": [m.utc_offset_hours for m in machines],
+    })
+
+
+def encode_cell(result: CellResult) -> TraceDataset:
+    """Build the five trace tables from one cell's simulation result.
+
+    The empty-trace case (a cell that ran no work) still yields tables
+    with the full schema, so downstream queries never special-case it.
+    """
+    capacity = result.capacity
+    tables = {
+        "collection_events": _collection_events_table(result),
+        "instance_events": _instance_events_table(result),
+        "instance_usage": _instance_usage_table(result),
+        "machine_events": _machine_events_table(result),
+        "machine_attributes": _machine_attributes_table(result),
+    }
+    return TraceDataset(
+        cell=result.config.name,
+        era=result.config.era,
+        horizon=result.config.horizon,
+        sample_period=result.config.sample_period,
+        utc_offset_hours=result.config.utc_offset_hours,
+        capacity_cpu=capacity.cpu,
+        capacity_mem=capacity.mem,
+        tables=tables,
+    )

@@ -1,0 +1,60 @@
+"""Trace persistence: one directory per cell, CSV per table + metadata.
+
+The real 2011 trace shipped as CSV files; we keep that format for both
+eras (the 2019 BigQuery tables are relational anyway) plus a small JSON
+metadata sidecar for the cell-level attributes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.table import read_csv, write_csv
+from repro.trace.dataset import SCHEMA_2019, TraceDataset
+from repro.util.errors import SchemaError
+
+_META_FILE = "metadata.json"
+
+
+def save_trace(trace: TraceDataset, directory: Union[str, os.PathLike]) -> None:
+    """Write all tables and metadata under ``directory`` (created if needed)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for name, table in trace.tables.items():
+        write_csv(table, path / f"{name}.csv")
+    meta = {
+        "cell": trace.cell,
+        "era": trace.era,
+        "horizon": trace.horizon,
+        "sample_period": trace.sample_period,
+        "utc_offset_hours": trace.utc_offset_hours,
+        "capacity_cpu": trace.capacity_cpu,
+        "capacity_mem": trace.capacity_mem,
+    }
+    with open(path / _META_FILE, "w") as f:
+        json.dump(meta, f, indent=2)
+
+
+def load_trace(directory: Union[str, os.PathLike]) -> TraceDataset:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(directory)
+    meta_path = path / _META_FILE
+    if not meta_path.exists():
+        raise SchemaError(f"no trace metadata at {meta_path}")
+    with open(meta_path) as f:
+        meta = json.load(f)
+    tables = {}
+    for name, columns in SCHEMA_2019.items():
+        csv_path = path / f"{name}.csv"
+        if not csv_path.exists():
+            raise SchemaError(f"missing trace table {csv_path}")
+        table = read_csv(csv_path)
+        if table.column_names != columns:
+            raise SchemaError(
+                f"{csv_path}: columns {table.column_names} != schema {columns}"
+            )
+        tables[name] = table
+    return TraceDataset(tables=tables, **meta)

@@ -1,0 +1,98 @@
+"""Machine fleets: the paper's hardware heterogeneity (Table 1, Figure 1).
+
+The 2011 trace had 3 hardware platforms and ~10 machine shapes; 2019 has
+7 platforms and 21 shapes with a wider CPU:memory ratio spread.  Shapes
+are expressed in the trace's normalized units where the largest machine
+is 1.0 on each dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.machine import Machine
+from repro.sim.resources import Resources
+
+
+@dataclass(frozen=True)
+class MachineShape:
+    """One (CPU, memory) configuration and its share of the fleet."""
+
+    cpu: float
+    mem: float
+    weight: float
+    platform: str
+
+    def __post_init__(self):
+        if not 0 < self.cpu <= 1 or not 0 < self.mem <= 1:
+            raise ValueError(f"shape must be in (0, 1]: cpu={self.cpu}, mem={self.mem}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+def fleet_2011() -> List[MachineShape]:
+    """The 2011 cell's 10 shapes on 3 platforms (dominated by one config)."""
+    return [
+        MachineShape(0.50, 0.50, 0.53, "A"),
+        MachineShape(0.50, 0.25, 0.31, "A"),
+        MachineShape(0.50, 0.75, 0.08, "A"),
+        MachineShape(1.00, 1.00, 0.01, "B"),
+        MachineShape(0.25, 0.25, 0.03, "B"),
+        MachineShape(0.50, 0.12, 0.02, "B"),
+        MachineShape(0.50, 0.03, 0.005, "B"),
+        MachineShape(0.50, 0.97, 0.005, "C"),
+        MachineShape(1.00, 0.50, 0.005, "C"),
+        MachineShape(0.25, 0.50, 0.005, "C"),
+    ]
+
+
+def fleet_2019() -> List[MachineShape]:
+    """The 2019 fleet's 21 shapes on 7 platforms (Figure 1's spread)."""
+    return [
+        MachineShape(0.25, 0.25, 0.22, "P1"),
+        MachineShape(0.35, 0.25, 0.13, "P1"),
+        MachineShape(0.35, 0.50, 0.12, "P2"),
+        MachineShape(0.50, 0.50, 0.11, "P2"),
+        MachineShape(0.50, 0.25, 0.09, "P2"),
+        MachineShape(0.60, 0.50, 0.07, "P3"),
+        MachineShape(0.60, 1.00, 0.05, "P3"),
+        MachineShape(0.70, 0.50, 0.04, "P3"),
+        MachineShape(1.00, 1.00, 0.03, "P4"),
+        MachineShape(1.00, 0.50, 0.03, "P4"),
+        MachineShape(0.25, 0.50, 0.025, "P4"),
+        MachineShape(0.30, 0.12, 0.02, "P5"),
+        MachineShape(0.60, 0.25, 0.02, "P5"),
+        MachineShape(0.70, 1.00, 0.015, "P5"),
+        MachineShape(0.40, 0.75, 0.015, "P6"),
+        MachineShape(0.50, 0.75, 0.012, "P6"),
+        MachineShape(0.25, 0.12, 0.01, "P6"),
+        MachineShape(0.85, 0.75, 0.008, "P7"),
+        MachineShape(0.85, 0.25, 0.006, "P7"),
+        MachineShape(0.35, 1.00, 0.005, "P7"),
+        MachineShape(0.15, 0.06, 0.004, "P7"),
+    ]
+
+
+def build_machines(shapes: Sequence[MachineShape], count: int,
+                   rng: np.random.Generator,
+                   utc_offset_hours: float = 0.0,
+                   id_offset: int = 0) -> List[Machine]:
+    """Instantiate ``count`` machines sampled from ``shapes`` by weight."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    weights = np.asarray([s.weight for s in shapes], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(shapes), size=count, p=weights)
+    machines = []
+    for i, pick in enumerate(picks):
+        shape = shapes[pick]
+        machines.append(Machine(
+            machine_id=id_offset + i,
+            capacity=Resources(shape.cpu, shape.mem),
+            platform=shape.platform,
+            utc_offset_hours=utc_offset_hours,
+        ))
+    return machines

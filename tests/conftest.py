@@ -1,0 +1,44 @@
+"""Shared fixtures: session-scoped small simulations and traces.
+
+Simulations are the expensive part of the suite, so each scenario is run
+once per session and shared by every test that only reads from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import encode_cell
+from repro.workload import small_test_scenario
+
+
+@pytest.fixture(scope="session")
+def result_2019():
+    """One small 2019-era cell simulation result."""
+    return small_test_scenario(seed=11, era="2019").run()
+
+
+@pytest.fixture(scope="session")
+def result_2011():
+    """One small 2011-era cell simulation result."""
+    return small_test_scenario(seed=11, era="2011").run()
+
+
+@pytest.fixture(scope="session")
+def trace_2019(result_2019):
+    return encode_cell(result_2019)
+
+
+@pytest.fixture(scope="session")
+def trace_2011(result_2011):
+    return encode_cell(result_2011)
+
+
+@pytest.fixture(scope="session")
+def traces_2019(trace_2019):
+    return [trace_2019]
+
+
+@pytest.fixture(scope="session")
+def traces_2011(trace_2011):
+    return [trace_2011]

@@ -1,0 +1,49 @@
+"""Tests for the per-user concentration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import users
+
+
+class TestCounts:
+    def test_jobs_per_user_totals(self, traces_2019):
+        counts = users.jobs_per_user(traces_2019)
+        ce = traces_2019[0].collection_events
+        n_jobs = int(((ce.column("type").values == "SUBMIT")
+                      & (ce.column("collection_type").values == "job")).sum())
+        assert sum(counts.values()) == n_jobs
+
+    def test_usage_attribution_conserves_total(self, traces_2019):
+        from repro.analysis.common import job_usage_integrals
+        usage = users.usage_per_user(traces_2019)
+        table = job_usage_integrals(traces_2019[0])
+        assert sum(usage.values()) == pytest.approx(
+            float(table.column("ncu_hours").sum()), rel=1e-6)
+
+
+class TestZipf:
+    def test_known_zipf_slope(self):
+        counts = (1000 / np.arange(1, 200) ** 1.0).astype(int)
+        assert users.zipf_exponent(counts) == pytest.approx(-1.0, abs=0.15)
+
+    def test_uniform_counts_flat(self):
+        assert abs(users.zipf_exponent([50] * 30)) < 0.05
+
+    def test_too_few(self):
+        with pytest.raises(ValueError):
+            users.zipf_exponent([5, 3])
+
+
+class TestReport:
+    def test_report_shape(self, traces_2019):
+        rep = users.user_report(traces_2019)
+        assert rep.n_users > 5
+        assert 0 < rep.top_user_job_share <= rep.top10_user_job_share <= 1
+        assert 0 <= rep.top10_user_usage_share <= 1
+        assert rep.zipf_slope < -0.3  # heavy-hitter population by design
+        assert len(rep.as_dict()) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            users.user_report([])

@@ -1,0 +1,83 @@
+"""Tests for the borg-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trace_dirs(tmp_path_factory):
+    """Simulate two tiny cells (one per era) once for all CLI tests."""
+    root = tmp_path_factory.mktemp("traces")
+    rc = main([
+        "simulate", "--cells", "2011,d", "--out", str(root),
+        "--machines", "16", "--hours", "6", "--scale", "0.01", "--seed", "2",
+    ])
+    assert rc == 0
+    return root
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.machines == 100
+        assert "2011" in args.cells
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSimulate:
+    def test_writes_trace_directories(self, trace_dirs):
+        for cell in ("2011", "d"):
+            assert (trace_dirs / cell / "metadata.json").exists()
+            assert (trace_dirs / cell / "instance_usage.csv").exists()
+
+
+class TestValidate:
+    def test_clean_trace_returns_zero(self, trace_dirs, capsys):
+        rc = main(["validate", str(trace_dirs / "d")])
+        assert rc == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_broken_trace_returns_one(self, trace_dirs, tmp_path, capsys):
+        import shutil
+        broken = tmp_path / "broken"
+        shutil.copytree(trace_dirs / "d", broken)
+        usage = (broken / "instance_usage.csv").read_text().splitlines()
+        # Corrupt one usage row: memory usage far above its limit.
+        header = usage[0].split(",")
+        row = usage[1].split(",")
+        row[header.index("avg_mem")] = "99.0"
+        row[header.index("limit_mem")] = "0.0001"
+        usage[1] = ",".join(row)
+        (broken / "instance_usage.csv").write_text("\n".join(usage) + "\n")
+        rc = main(["validate", str(broken)])
+        assert rc == 1
+        assert "violations" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_renders(self, trace_dirs, tmp_path):
+        out = tmp_path / "report.txt"
+        rc = main(["report", str(trace_dirs), "--out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "Table 1" in text and "Figure 12" in text
+
+    def test_report_missing_dir(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["report", str(empty)]) == 1
+
+    def test_report_needs_both_eras(self, trace_dirs, tmp_path):
+        import shutil
+        only_2019 = tmp_path / "only2019"
+        only_2019.mkdir()
+        shutil.copytree(trace_dirs / "d", only_2019 / "d")
+        assert main(["report", str(only_2019)]) == 1

@@ -1,0 +1,119 @@
+"""Tests for the ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.plot import bar_chart, ccdf_chart, line_chart, stacked_series_chart
+from repro.stats import empirical_ccdf
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart({"f": ([1, 2, 3], [3.0, 2.0, 1.0])},
+                          width=30, height=8, title="demo")
+        assert "demo" in text
+        assert "o" in text  # first series marker
+        assert text.count("\n") >= 8
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_chart({
+            "a": ([0, 1], [0.0, 1.0]),
+            "b": ([0, 1], [1.0, 0.0]),
+        }, width=20, height=6)
+        assert "o=a" in text and "x=b" in text
+
+    def test_log_axes(self):
+        xs = np.logspace(0, 4, 50)
+        ys = 1.0 / xs
+        text = line_chart({"p": (xs, ys)}, logx=True, logy=True,
+                          width=40, height=10)
+        assert "o" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"f": ([0.0, 1.0], [1.0, 2.0])}, logx=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"f": ([], [])})
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_chart({"f": ([1, 2], [1.0])})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"f": ([1], [1.0])}, width=5, height=2)
+
+    def test_constant_series_drawable(self):
+        text = line_chart({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])},
+                          width=20, height=5)
+        assert "o" in text
+
+
+class TestCcdfChart:
+    def test_renders_ccdf(self):
+        ccdf = empirical_ccdf(np.random.default_rng(0).exponential(1, 500))
+        text = ccdf_chart({"exp": ccdf}, width=40, height=10)
+        assert "Pr(X > x)" in text
+
+    def test_loglog_drops_zero_tail(self):
+        ccdf = empirical_ccdf([1.0, 2.0, 4.0, 8.0])
+        text = ccdf_chart({"s": ccdf}, logx=True, logy=True,
+                          width=30, height=6)
+        assert "o" in text
+
+    def test_decimation(self):
+        ccdf = empirical_ccdf(np.random.default_rng(1).random(50_000))
+        text = ccdf_chart({"u": ccdf}, width=40, height=8, max_points=50)
+        assert "o" in text
+
+    def test_all_filtered_rejected(self):
+        ccdf = empirical_ccdf([1.0])  # single point: prob 0 -> dropped by logy
+        with pytest.raises(ValueError):
+            ccdf_chart({"x": ccdf}, logy=True)
+
+
+class TestStacked:
+    def test_renders_bands(self):
+        text = stacked_series_chart({
+            "free": np.full(24, 0.05),
+            "beb": np.full(24, 0.2),
+            "prod": np.full(24, 0.3),
+        }, width=30, height=10, title="usage")
+        assert "usage" in text
+        for marker in ("o", "x", "*"):
+            assert marker in text
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_series_chart({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_series_chart({"a": np.zeros(5)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_series_chart({})
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_labels_and_values(self):
+        text = bar_chart({"cell-a": 0.25}, title="t")
+        assert "cell-a" in text and "0.25" in text and text.startswith("t")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_all_zero_ok(self):
+        assert "0" in bar_chart({"z": 0.0})

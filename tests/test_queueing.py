@@ -1,0 +1,93 @@
+"""Unit tests for the M/G/1 analysis and hog-isolation comparison."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    compare_isolation,
+    mg1_mean_queueing_delay,
+    mg1_mean_waiting_time_simulated,
+    pollaczek_khinchine,
+)
+
+
+class TestPollaczekKhinchine:
+    def test_mm1_case(self):
+        # For exponential service (C^2 = 1): W = rho/(1-rho) mean services.
+        assert pollaczek_khinchine(0.5, 1.0) == pytest.approx(1.0)
+        assert pollaczek_khinchine(0.9, 1.0) == pytest.approx(9.0)
+
+    def test_deterministic_service_halves_delay(self):
+        assert pollaczek_khinchine(0.5, 0.0) == pytest.approx(0.5)
+
+    def test_delay_grows_linearly_with_cv2(self):
+        assert (pollaczek_khinchine(0.5, 23_000.0)
+                == pytest.approx(23_001.0 / 2.0))
+
+    def test_zero_load_zero_delay(self):
+        assert pollaczek_khinchine(0.0, 100.0) == 0.0
+
+    def test_bad_rho(self):
+        with pytest.raises(ValueError):
+            pollaczek_khinchine(1.0, 1.0)
+        with pytest.raises(ValueError):
+            pollaczek_khinchine(-0.1, 1.0)
+
+    def test_bad_cv2(self):
+        with pytest.raises(ValueError):
+            pollaczek_khinchine(0.5, -1.0)
+
+
+class TestSimulatedMG1:
+    def test_matches_pk_for_exponential(self):
+        rng = np.random.default_rng(0)
+        service = rng.exponential(1.0, 50_000)
+        stats = mg1_mean_waiting_time_simulated(rng, service, rho=0.6, n_jobs=200_000)
+        predicted = pollaczek_khinchine(0.6, 1.0)
+        assert stats.normalized_mean_wait == pytest.approx(predicted, rel=0.15)
+
+    def test_matches_pk_for_deterministic(self):
+        rng = np.random.default_rng(1)
+        service = np.ones(100)
+        stats = mg1_mean_waiting_time_simulated(rng, service, rho=0.5, n_jobs=200_000)
+        assert stats.normalized_mean_wait == pytest.approx(0.5, rel=0.15)
+
+    def test_bad_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mg1_mean_waiting_time_simulated(rng, [], rho=0.5)
+        with pytest.raises(ValueError):
+            mg1_mean_waiting_time_simulated(rng, [1.0], rho=1.5)
+        with pytest.raises(ValueError):
+            mg1_mean_waiting_time_simulated(rng, [0.0], rho=0.5)
+
+    def test_empirical_cv2_shortcut(self):
+        rng = np.random.default_rng(2)
+        service = rng.exponential(1.0, 100_000)
+        assert mg1_mean_queueing_delay(service, 0.5) == pytest.approx(1.0, abs=0.1)
+
+
+class TestIsolation:
+    def test_isolation_helps_heavy_tails(self):
+        rng = np.random.default_rng(3)
+        sizes = np.concatenate([
+            rng.exponential(0.01, 9900),            # mice
+            (rng.pareto(0.7, 100) + 1) * 10.0,      # hogs
+        ])
+        report = compare_isolation(sizes, rho=0.5, hog_fraction=0.01)
+        assert report.shared_cv2 > report.mice_cv2
+        assert report.speedup > 10  # mice see a drastically lighter queue
+
+    def test_homogeneous_sizes_little_benefit(self):
+        sizes = np.ones(1000)
+        report = compare_isolation(sizes, rho=0.5)
+        assert report.speedup < 3
+
+    def test_hog_share_recorded(self):
+        sizes = np.concatenate([np.full(99, 0.001), [100.0]])
+        report = compare_isolation(sizes, rho=0.3, hog_fraction=0.01)
+        assert report.hog_load_share > 0.99
+
+    def test_too_few_jobs(self):
+        with pytest.raises(ValueError):
+            compare_isolation([1.0] * 5)

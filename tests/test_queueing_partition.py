@@ -1,0 +1,110 @@
+"""Tests for the hog-isolation multi-server queue (section 10, direction 5)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    QueueOutcome,
+    run_isolation_experiment,
+    simulate_partitioned_queue,
+)
+
+
+@pytest.fixture
+def heavy_sizes():
+    rng = np.random.default_rng(0)
+    return np.concatenate([
+        rng.exponential(0.05, 4950),
+        (rng.pareto(0.7, 50) + 1) * 5.0,
+    ])
+
+
+class TestSimulator:
+    def test_waits_nonnegative(self, heavy_sizes):
+        rng = np.random.default_rng(1)
+        out = simulate_partitioned_queue(rng, heavy_sizes, n_servers=10,
+                                         rho=0.7, n_jobs=5000)
+        assert (out["mice"] >= -1e-9).all()
+        assert (out["hogs"] >= -1e-9).all()
+
+    def test_every_job_classified(self, heavy_sizes):
+        rng = np.random.default_rng(1)
+        out = simulate_partitioned_queue(rng, heavy_sizes, n_servers=10,
+                                         rho=0.5, n_jobs=5000)
+        assert len(out["mice"]) + len(out["hogs"]) == 5000
+
+    def test_low_load_little_waiting(self, heavy_sizes):
+        rng = np.random.default_rng(2)
+        out = simulate_partitioned_queue(rng, heavy_sizes, n_servers=20,
+                                         rho=0.2, n_jobs=5000)
+        assert float(out["mice"].mean()) < 0.5
+
+    def test_waits_grow_with_load(self, heavy_sizes):
+        means = []
+        for rho in (0.5, 0.9):
+            rng = np.random.default_rng(3)
+            out = simulate_partitioned_queue(rng, heavy_sizes, n_servers=10,
+                                             rho=rho, n_jobs=20_000)
+            means.append(float(np.concatenate(list(out.values())).mean()))
+        assert means[1] > means[0]
+
+    def test_exponential_sizes_reasonable(self):
+        # Sanity against M/M/c intuition: modest load, modest waits.
+        rng = np.random.default_rng(4)
+        sizes = rng.exponential(1.0, 5000)
+        out = simulate_partitioned_queue(rng, sizes, n_servers=10, rho=0.6,
+                                         n_jobs=20_000)
+        combined = np.concatenate(list(out.values()))
+        assert float(combined.mean()) < 1.0
+
+    def test_input_validation(self, heavy_sizes):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_partitioned_queue(rng, heavy_sizes[:5])
+        with pytest.raises(ValueError):
+            simulate_partitioned_queue(rng, heavy_sizes, rho=1.5)
+        with pytest.raises(ValueError):
+            simulate_partitioned_queue(rng, heavy_sizes, n_servers=1)
+
+
+class TestExperiment:
+    def test_isolation_protects_mice(self, heavy_sizes):
+        rng = np.random.default_rng(5)
+        exp = run_isolation_experiment(rng, heavy_sizes, n_servers=16,
+                                       rho=0.85, n_jobs=30_000)
+        assert exp.mice_isolated.mean_wait < exp.mice_shared.mean_wait / 5
+        assert exp.mice_isolated.p99_wait < exp.mice_shared.p99_wait / 5
+        assert exp.mice_mean_speedup > 5
+
+    def test_hogs_pay_for_isolation(self, heavy_sizes):
+        rng = np.random.default_rng(6)
+        exp = run_isolation_experiment(rng, heavy_sizes, n_servers=16,
+                                       rho=0.85, n_jobs=30_000)
+        # Fewer servers for hogs: their waits rise (the trade-off).
+        assert exp.hogs_isolated.mean_wait >= exp.hogs_shared.mean_wait
+
+    def test_threshold_recorded(self, heavy_sizes):
+        rng = np.random.default_rng(7)
+        exp = run_isolation_experiment(rng, heavy_sizes, n_servers=8,
+                                       rho=0.5, n_jobs=5000)
+        assert exp.hog_threshold > float(np.median(heavy_sizes))
+
+    def test_paired_streams_are_deterministic(self, heavy_sizes):
+        a = run_isolation_experiment(np.random.default_rng(8), heavy_sizes,
+                                     n_servers=8, rho=0.7, n_jobs=5000)
+        b = run_isolation_experiment(np.random.default_rng(8), heavy_sizes,
+                                     n_servers=8, rho=0.7, n_jobs=5000)
+        assert a.mice_shared == b.mice_shared
+        assert a.mice_isolated == b.mice_isolated
+
+
+class TestQueueOutcome:
+    def test_from_waits(self):
+        out = QueueOutcome.from_waits(np.asarray([0.0, 1.0, 2.0, 3.0]))
+        assert out.n_jobs == 4
+        assert out.mean_wait == 1.5
+        assert out.median_wait == 1.5
+
+    def test_empty(self):
+        out = QueueOutcome.from_waits(np.empty(0))
+        assert out.n_jobs == 0 and out.mean_wait == 0.0

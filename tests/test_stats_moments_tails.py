@@ -1,0 +1,100 @@
+"""Unit tests for C², distribution summaries, and hog/mouse splits."""
+
+import numpy as np
+import pytest
+
+from repro.stats import squared_cv, summarize, top_share
+from repro.stats.tails import split_hogs_mice
+
+
+class TestSquaredCv:
+    def test_constantish_sample_near_zero(self):
+        assert squared_cv([5.0, 5.0, 5.0, 5.00001]) < 1e-9
+
+    def test_exponential_is_about_one(self):
+        samples = np.random.default_rng(1).exponential(3.0, 200_000)
+        assert squared_cv(samples) == pytest.approx(1.0, abs=0.05)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(2)
+        x = rng.lognormal(0, 2, 10_000)
+        assert squared_cv(x) == pytest.approx(squared_cv(x * 1000), rel=1e-9)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            squared_cv([1.0])
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            squared_cv([-1.0, 1.0])
+
+
+class TestTopShare:
+    def test_uniform_top_1pct(self):
+        x = np.ones(1000)
+        assert top_share(x, 0.01) == pytest.approx(0.01)
+
+    def test_single_hog_dominates(self):
+        x = np.concatenate([np.full(99, 0.001), [1000.0]])
+        assert top_share(x, 0.01) > 0.99
+
+    def test_fraction_one_is_total(self):
+        assert top_share([1.0, 2.0], 1.0) == 1.0
+
+    def test_at_least_one_sample_counted(self):
+        assert top_share([1.0, 9.0], 0.001) == pytest.approx(0.9)
+
+    def test_all_zero(self):
+        assert top_share([0.0, 0.0], 0.01) == 0.0
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1.0], 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            top_share([-1.0, 2.0], 0.5)
+
+
+class TestSplit:
+    def test_partition_sizes(self):
+        split = split_hogs_mice(np.arange(1, 201, dtype=float), 0.01)
+        assert split.hog_count == 2
+        assert split.mouse_count == 198
+
+    def test_hogs_are_largest(self):
+        x = np.asarray([5.0, 1.0, 9.0, 3.0])
+        split = split_hogs_mice(x, 0.25)
+        assert split.hogs.tolist() == [9.0]
+        assert split.threshold == 9.0
+
+    def test_shares_sum_to_one(self):
+        rng = np.random.default_rng(5)
+        x = rng.pareto(0.9, 5000) + 1
+        split = split_hogs_mice(x, 0.01)
+        assert split.hog_load_share + split.mice.sum() / x.sum() == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            split_hogs_mice([])
+
+
+class TestSummarize:
+    def test_table2_fields(self):
+        rng = np.random.default_rng(9)
+        x = rng.lognormal(0, 2, 10_000)
+        s = summarize(x)
+        assert s.n == 10_000
+        assert s.median < s.mean  # right-skewed
+        assert s.p90 < s.p99 < s.p999 <= s.maximum
+        assert 0 < s.top_01pct_share < s.top_1pct_share <= 1
+        d = s.as_dict()
+        assert "C^2" in d and "top 1% jobs load" in d
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([-1.0, 2.0])
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            summarize([1.0])

@@ -1,0 +1,159 @@
+"""Unit tests for the columnar engine's Column type."""
+
+import numpy as np
+import pytest
+
+from repro.table import Column
+from repro.util.errors import SchemaError
+
+
+class TestConstruction:
+    def test_float_kind(self):
+        assert Column([1.0, 2.0]).kind == "float"
+
+    def test_int_kind(self):
+        assert Column([1, 2, 3]).kind == "int"
+
+    def test_bool_kind(self):
+        assert Column([True, False]).kind == "bool"
+
+    def test_str_kind(self):
+        assert Column(["a", "b"]).kind == "str"
+
+    def test_ints_preserved_not_floats(self):
+        col = Column([1, 2])
+        assert col.values.dtype == np.int64
+
+    def test_from_numpy_float32_upcasts(self):
+        col = Column(np.asarray([1.5], dtype=np.float32))
+        assert col.values.dtype == np.float64
+
+    def test_from_column_shares_data(self):
+        a = Column([1.0, 2.0])
+        b = Column(a)
+        assert b.values is a.values
+
+    def test_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            Column(np.zeros((2, 2)))
+
+    def test_rejects_mixed_objects(self):
+        with pytest.raises(SchemaError):
+            Column(["a", object()])
+
+    def test_empty_column(self):
+        assert len(Column([])) == 0
+
+
+class TestComparisons:
+    def test_scalar_comparison_returns_mask(self):
+        mask = Column([1.0, 5.0, 3.0]) > 2.0
+        assert mask.tolist() == [False, True, True]
+
+    def test_eq_with_string(self):
+        mask = Column(["x", "y", "x"]) == "x"
+        assert mask.tolist() == [True, False, True]
+
+    def test_ne(self):
+        mask = Column([1, 2]) != 1
+        assert mask.tolist() == [False, True]
+
+    def test_column_vs_column(self):
+        mask = Column([1, 5]) <= Column([2, 4])
+        assert mask.tolist() == [True, False]
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column([1]))
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (Column([1.0]) + 1.0).to_list() == [2.0]
+
+    def test_radd(self):
+        assert (1.0 + Column([1.0])).to_list() == [2.0]
+
+    def test_sub_columns(self):
+        assert (Column([3.0]) - Column([1.0])).to_list() == [2.0]
+
+    def test_rsub(self):
+        assert (5.0 - Column([2.0])).to_list() == [3.0]
+
+    def test_mul_div(self):
+        col = Column([4.0])
+        assert (col * 2).to_list() == [8.0]
+        assert (col / 2).to_list() == [2.0]
+
+    def test_rtruediv(self):
+        assert (8.0 / Column([2.0])).to_list() == [4.0]
+
+    def test_neg(self):
+        assert (-Column([1.0, -2.0])).to_list() == [-1.0, 2.0]
+
+
+class TestReductions:
+    def test_sum_mean(self):
+        col = Column([1.0, 2.0, 3.0])
+        assert col.sum() == 6.0
+        assert col.mean() == 2.0
+
+    def test_min_max(self):
+        col = Column([3, 1, 2])
+        assert col.min() == 1
+        assert col.max() == 3
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(SchemaError):
+            Column([]).min()
+
+    def test_var_is_unbiased(self):
+        assert Column([1.0, 3.0]).var() == pytest.approx(2.0)
+
+    def test_var_singleton_is_zero(self):
+        assert Column([5.0]).var() == 0.0
+
+    def test_median_percentile(self):
+        col = Column([1.0, 2.0, 3.0, 4.0])
+        assert col.median() == 2.5
+        assert col.percentile(100) == 4.0
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Column([1.0]).percentile(101)
+
+    def test_numeric_reduction_on_strings_raises(self):
+        with pytest.raises(SchemaError):
+            Column(["a"]).sum()
+
+
+class TestMisc:
+    def test_isin_numeric(self):
+        assert Column([1, 2, 3]).isin([2, 3]).tolist() == [False, True, True]
+
+    def test_isin_strings(self):
+        assert Column(["a", "b"]).isin(["b"]).tolist() == [False, True]
+
+    def test_unique_sorted(self):
+        assert Column([3, 1, 3, 2]).unique() == [1, 2, 3]
+
+    def test_unique_strings(self):
+        assert Column(["b", "a", "b"]).unique() == ["a", "b"]
+
+    def test_astype_roundtrip(self):
+        assert Column([1, 0]).astype("bool").to_list() == [True, False]
+        assert Column([1.7]).astype("int").to_list() == [1]
+        assert Column([1]).astype("str").to_list() == ["1"]
+        assert Column([1]).astype("float").kind == "float"
+
+    def test_astype_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            Column([1]).astype("complex")
+
+    def test_getitem_scalar_and_slice(self):
+        col = Column([10, 20, 30])
+        assert col[1] == 20
+        assert col[1:].to_list() == [20, 30]
+
+    def test_repr_mentions_kind(self):
+        assert "int" in repr(Column([1]))

@@ -1,0 +1,118 @@
+"""Unit tests for the expression language and CSV round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.table import Table, col, lit, read_csv, write_csv
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def table():
+    return Table({"x": [1.0, 2.0, 3.0], "name": ["a", "b", "c"], "n": [1, 2, 3]})
+
+
+class TestExpr:
+    def test_column_reference(self, table):
+        assert col("x").evaluate(table).tolist() == [1.0, 2.0, 3.0]
+
+    def test_literal_broadcast(self, table):
+        assert lit(7).evaluate(table).tolist() == [7, 7, 7]
+
+    def test_arithmetic(self, table):
+        expr = (col("x") + 1) * 2 - col("n")
+        assert expr.evaluate(table).tolist() == [3.0, 4.0, 5.0]
+
+    def test_reflected_arithmetic(self, table):
+        assert (10 - col("x")).evaluate(table).tolist() == [9.0, 8.0, 7.0]
+        assert (12 / col("x")).evaluate(table).tolist() == [12.0, 6.0, 4.0]
+
+    def test_negation(self, table):
+        assert (-col("n")).evaluate(table).tolist() == [-1, -2, -3]
+
+    def test_comparison_chain(self, table):
+        mask = ((col("x") > 1) & (col("x") < 3)).evaluate(table)
+        assert mask.tolist() == [False, True, False]
+
+    def test_or_and_invert(self, table):
+        mask = (~((col("n") == 1) | (col("n") == 3))).evaluate(table)
+        assert mask.tolist() == [False, True, False]
+
+    def test_isin(self, table):
+        assert col("name").isin(["a", "c"]).evaluate(table).tolist() == [True, False, True]
+
+    def test_isin_numeric(self, table):
+        assert col("n").isin([2]).evaluate(table).tolist() == [False, True, False]
+
+    def test_between_inclusive(self, table):
+        assert col("n").between(2, 3).evaluate(table).tolist() == [False, True, True]
+
+    def test_expr_vs_expr_comparison(self, table):
+        assert (col("x") == col("n")).evaluate(table).tolist() == [True, True, True]
+
+    def test_description_readable(self):
+        expr = (col("a") + 1) > col("b")
+        assert "a" in expr.description and ">" in expr.description
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(col("a"))
+
+
+class TestCsv:
+    def test_roundtrip_all_kinds(self, tmp_path):
+        t = Table({
+            "f": [1.5, -2.25],
+            "i": [1, -2],
+            "s": ["hello", "wor,ld"],
+            "b": [True, False],
+        })
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back.to_dict() == t.to_dict()
+        assert [back.column(c).kind for c in back.column_names] == ["float", "int", "str", "bool"]
+
+    def test_float_precision_preserved(self, tmp_path):
+        t = Table({"x": [0.1 + 0.2, 1e-17]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        assert read_csv(path).column("x").to_list() == t.column("x").to_list()
+
+    def test_column_subset(self, tmp_path):
+        t = Table({"a": [1], "b": [2]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        assert read_csv(path, columns=["b"]).column_names == ["b"]
+
+    def test_missing_column_requested(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(Table({"a": [1]}), path)
+        with pytest.raises(SchemaError):
+            read_csv(path, columns=["zz"])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="line 3"):
+            read_csv(path)
+
+    def test_buffer_io(self):
+        buf = io.StringIO()
+        write_csv(Table({"a": [1, 2]}), buf)
+        buf.seek(0)
+        assert read_csv(buf).column("a").to_list() == [1, 2]
+
+    def test_header_only_yields_empty_table(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        t = read_csv(path)
+        assert len(t) == 0 and t.column_names == ["a", "b"]

@@ -1,0 +1,88 @@
+"""Tests for the synthesized per-window CPU histograms (section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.histogram import CPU_HISTOGRAM_PERCENTILES
+from repro.trace.histograms import (
+    histogram_from_avg_max,
+    overload_fraction,
+    synthesize_cpu_histograms,
+)
+
+
+class TestReconstruction:
+    def test_shape(self):
+        out = histogram_from_avg_max(np.array([0.2, 0.4]), np.array([0.5, 0.6]))
+        assert out.shape == (2, 21)
+
+    def test_monotone_percentiles(self):
+        out = histogram_from_avg_max(np.array([0.2]), np.array([0.9]))
+        assert (np.diff(out[0]) >= -1e-12).all()
+
+    def test_top_element_is_max(self):
+        out = histogram_from_avg_max(np.array([0.2]), np.array([0.75]))
+        assert out[0, -1] == pytest.approx(0.75)
+
+    def test_degenerate_flat_usage(self):
+        out = histogram_from_avg_max(np.array([0.3]), np.array([0.3]))
+        np.testing.assert_allclose(out[0], 0.3, rtol=1e-9)
+
+    def test_zero_usage_row(self):
+        out = histogram_from_avg_max(np.array([0.0]), np.array([0.0]))
+        assert (out[0] == 0.0).all()
+
+    def test_median_below_mean_for_skewed(self):
+        # Lognormal: median < mean whenever there is dispersion.
+        out = histogram_from_avg_max(np.array([0.2]), np.array([0.9]))
+        p50 = out[0, list(CPU_HISTOGRAM_PERCENTILES).index(50)]
+        assert p50 < 0.2
+
+    def test_mean_consistency(self):
+        # Integrating the reconstructed quantile function approximates
+        # the recorded average.
+        avg, peak = 0.25, 0.6
+        out = histogram_from_avg_max(np.array([avg]), np.array([peak]))[0]
+        qs = np.linspace(0.005, 0.995, 200)
+        from scipy.special import ndtri
+        from repro.trace.histograms import _sigma_for_ratio
+        sigma = _sigma_for_ratio(np.array([peak / avg]))[0]
+        values = avg * np.exp(sigma * ndtri(qs) - sigma**2 / 2)
+        assert float(values.mean()) == pytest.approx(avg, rel=0.05)
+
+    def test_extreme_ratio_capped(self):
+        out = histogram_from_avg_max(np.array([1e-6]), np.array([1.0]))
+        assert np.isfinite(out).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            histogram_from_avg_max(np.zeros(2), np.zeros(3))
+
+    def test_deterministic(self):
+        a = histogram_from_avg_max(np.array([0.3]), np.array([0.5]))
+        b = histogram_from_avg_max(np.array([0.3]), np.array([0.5]))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOnTrace:
+    def test_synthesize_from_trace(self, trace_2019):
+        out = synthesize_cpu_histograms(trace_2019, max_rows=500)
+        assert out.shape == (500, 21)
+        assert (out >= 0).all()
+        # Column 21 equals the recorded maxima.
+        peaks = trace_2019.instance_usage.column("max_cpu").values[:500]
+        np.testing.assert_allclose(out[:, -1][peaks > 0],
+                                   peaks[peaks > 0], rtol=1e-9)
+
+    def test_overload_fraction_range(self, trace_2019):
+        frac = overload_fraction(trace_2019, max_rows=2000)
+        assert 0.0 <= frac <= 1.0
+
+    def test_overload_fraction_monotone_in_percentile(self, trace_2019):
+        lo = overload_fraction(trace_2019, percentile_index=10, max_rows=2000)
+        hi = overload_fraction(trace_2019, percentile_index=20, max_rows=2000)
+        assert hi >= lo
+
+    def test_bad_percentile_index(self, trace_2019):
+        with pytest.raises(ValueError):
+            overload_fraction(trace_2019, percentile_index=21)
