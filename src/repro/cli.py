@@ -5,12 +5,19 @@ Installed as ``borg-repro``; also runnable as ``python -m repro.cli``.
 Subcommands
 -----------
 simulate
-    Simulate one or more cells and write their traces to a directory.
+    Simulate one or more cells and write their traces to a directory
+    (CSV or chunked-store format).
 validate
     Run the section-9 invariant pipeline over a saved trace.
 report
     Load saved traces (or simulate fresh ones) and print the full
     paper-as-text report.
+convert
+    Re-encode a CSV trace directory as a chunked columnar store (or
+    back).
+query
+    Run a projection + predicate + aggregate against a store straight
+    from the command line, optionally over multiple worker processes.
 """
 
 from __future__ import annotations
@@ -19,10 +26,22 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.report import full_report
+from repro.store import (
+    Agg,
+    And,
+    Between,
+    Compare,
+    IsIn,
+    convert_csv_to_store,
+    convert_store_to_csv,
+    open_store,
+)
+from repro.store.writer import DEFAULT_CHUNK_ROWS
 from repro.trace import encode_cell, load_trace, save_trace, validate_trace
+from repro.trace.io import detect_format
 from repro.workload import scenario_2011, scenarios_2019
 
 
@@ -41,7 +60,7 @@ def _simulate(args) -> int:
     out.mkdir(parents=True, exist_ok=True)
     cells: List[str] = [c for c in args.cells.split(",") if c]
     for name in cells:
-        t0 = time.time()
+        t0 = time.perf_counter()
         if name == "2011":
             scenario = scenario_2011(seed=args.seed,
                                      machines_per_cell=args.machines,
@@ -54,9 +73,17 @@ def _simulate(args) -> int:
                                       arrival_scale=args.scale,
                                       cells=[name])[0]
         trace = encode_cell(scenario.run())
-        save_trace(trace, out / name)
-        print(f"cell {name}: simulated + saved in {time.time() - t0:.0f}s "
-              f"({len(trace.instance_usage)} usage rows) -> {out / name}")
+        t_sim = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        save_trace(trace, out / name, format=args.format)
+        t_save = time.perf_counter() - t1
+        rows = {tname: len(t) for tname, t in trace.tables.items()}
+        # Per-cell wall clock + row counts, so benchmark regressions in
+        # the simulator or the writer are visible straight from the CLI.
+        print(f"cell {name}: simulated in {t_sim:.1f}s, "
+              f"saved ({args.format}) in {t_save:.1f}s -> {out / name}")
+        print(f"cell {name}: rows written: total={sum(rows.values())} "
+              + " ".join(f"{tname}={n}" for tname, n in rows.items()))
     return 0
 
 
@@ -75,10 +102,12 @@ def _validate(args) -> int:
 
 def _report(args) -> int:
     root = Path(args.trace_root)
-    dirs = sorted(p for p in root.iterdir() if (p / "metadata.json").exists())
+    dirs = sorted(p for p in root.iterdir()
+                  if p.is_dir() and detect_format(p) is not None)
     if not dirs:
         print(f"no traces under {root} (expected subdirectories with "
-              "metadata.json; create them with 'borg-repro simulate')",
+              "metadata.json or manifest.json; create them with "
+              "'borg-repro simulate')",
               file=sys.stderr)
         return 1
     traces_2011, traces_2019 = [], []
@@ -99,6 +128,91 @@ def _report(args) -> int:
     return 0
 
 
+def _convert(args) -> int:
+    t0 = time.perf_counter()
+    if args.to == "store":
+        store = convert_csv_to_store(args.src, args.dst,
+                                     chunk_rows=args.chunk_rows)
+        chunks = sum(len(store.manifest.chunks(t)) for t in store.table_names)
+        rows = sum(store.rows(t) for t in store.table_names)
+        print(f"{args.src} -> {args.dst}: {rows} rows in {chunks} chunks "
+              f"({args.chunk_rows} rows/chunk) in {time.perf_counter() - t0:.1f}s")
+    else:
+        convert_store_to_csv(args.src, args.dst)
+        print(f"{args.src} -> {args.dst}: store re-encoded as CSV "
+              f"in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+def _parse_scalar(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_where(clause: str):
+    """One ``--where`` clause -> a pushdown predicate.
+
+    Grammar (whitespace-separated): ``col OP value`` with OP in
+    ``== != < <= > >=``, ``col in v1,v2,...``, or
+    ``col between LO HI``.
+    """
+    parts = clause.split()
+    if len(parts) == 4 and parts[1] == "between":
+        return Between(parts[0], _parse_scalar(parts[2]), _parse_scalar(parts[3]))
+    if len(parts) != 3:
+        raise SystemExit(f"bad --where clause {clause!r}: expected "
+                         "'col OP value', 'col in v1,v2', or 'col between lo hi'")
+    column, op, value = parts
+    if op == "in":
+        return IsIn(column, [_parse_scalar(v) for v in value.split(",") if v])
+    return Compare(column, op, _parse_scalar(value))
+
+
+def _parse_agg(spec: str) -> Agg:
+    """``count``, ``kind:column``, or ``histogram:column:e0,e1,...``."""
+    parts = spec.split(":")
+    if parts[0] == "count" and len(parts) == 1:
+        return Agg("count")
+    if parts[0] == "histogram":
+        if len(parts) != 3:
+            raise SystemExit(f"bad --agg {spec!r}: histogram needs "
+                             "'histogram:column:edge0,edge1,...'")
+        edges = [float(e) for e in parts[2].split(",") if e]
+        return Agg("histogram", parts[1], edges=edges)
+    if len(parts) != 2:
+        raise SystemExit(f"bad --agg {spec!r}: expected 'count', 'kind:column',"
+                         " or 'histogram:column:edges'")
+    return Agg(parts[0], parts[1])
+
+
+def _query(args) -> int:
+    store = open_store(args.store_dir)
+    scan = store.scan(args.table)
+    predicates = [_parse_where(clause) for clause in args.where or []]
+    if predicates:
+        scan = scan.where(And(*predicates) if len(predicates) > 1 else predicates[0])
+    if args.select:
+        scan = scan.select(*[c for c in args.select.split(",") if c])
+    workers: Optional[int] = args.workers
+    if args.agg:
+        aggs = [_parse_agg(spec) for spec in args.agg]
+        result = scan.aggregate(*aggs, workers=workers)
+        for alias, value in result.items():
+            if hasattr(value, "tolist"):
+                value = value.tolist()
+            print(f"{alias} = {value}")
+    else:
+        table = scan.to_table(workers=workers)
+        print(table.to_string(max_rows=args.limit))
+    print(f"scan: {scan.last_stats}", file=sys.stderr)
+    print(f"cache: {store.cache.stats}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="borg-repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -108,6 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated cells ('2011' and/or a-h)")
     p_sim.add_argument("--out", default="traces",
                        help="output directory (one subdir per cell)")
+    p_sim.add_argument("--format", choices=("csv", "store"), default="csv",
+                       help="trace format to write (default csv)")
     _add_scale_args(p_sim)
     p_sim.set_defaults(func=_simulate)
 
@@ -119,6 +235,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("trace_root", help="directory containing cell subdirs")
     p_rep.add_argument("--out", default=None, help="write the report here")
     p_rep.set_defaults(func=_report)
+
+    p_conv = sub.add_parser(
+        "convert", help="re-encode a CSV trace as a chunked store (or back)")
+    p_conv.add_argument("src", help="source trace directory")
+    p_conv.add_argument("dst", help="destination directory")
+    p_conv.add_argument("--to", choices=("store", "csv"), default="store",
+                        help="target format (default store)")
+    p_conv.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS,
+                        help=f"rows per chunk (default {DEFAULT_CHUNK_ROWS})")
+    p_conv.set_defaults(func=_convert)
+
+    p_query = sub.add_parser(
+        "query", help="projection + predicate + aggregate over a store")
+    p_query.add_argument("store_dir", help="store directory (see 'convert')")
+    p_query.add_argument("table", help="table name, e.g. instance_usage")
+    p_query.add_argument("--select", default=None,
+                         help="comma-separated columns to project")
+    p_query.add_argument("--where", action="append", default=[],
+                         metavar="CLAUSE",
+                         help="predicate clause 'col OP value' | "
+                              "'col in v1,v2' | 'col between lo hi' "
+                              "(repeatable; clauses are ANDed and pushed "
+                              "down to skip whole chunks)")
+    p_query.add_argument("--agg", action="append", default=[], metavar="SPEC",
+                         help="aggregate 'count' | 'sum:col' | 'min:col' | "
+                              "'max:col' | 'mean:col' | "
+                              "'histogram:col:e0,e1,...' (repeatable; "
+                              "omit to print matching rows)")
+    p_query.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the parallel executor "
+                              "(default: serial)")
+    p_query.add_argument("--limit", type=int, default=10,
+                         help="max rows to print without --agg (default 10)")
+    p_query.set_defaults(func=_query)
 
     return parser
 

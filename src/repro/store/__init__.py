@@ -1,0 +1,83 @@
+"""``repro.store`` — the chunked columnar trace store (BigQuery stand-in).
+
+The paper's 2019 trace ships as partitioned, clustered BigQuery tables
+because month-scale event data cannot be slurped into memory whole.
+This package is that idea at laptop scale:
+
+* :mod:`~repro.store.format` — a typed, columnar row-group chunk file;
+* :mod:`~repro.store.manifest` — JSON chunk index with per-chunk
+  min/max statistics (≈ partition metadata + clustering);
+* :mod:`~repro.store.predicates` — picklable filters that prune chunks
+  from statistics alone;
+* :mod:`~repro.store.scan` — lazy scans with projection and predicate
+  pushdown;
+* :mod:`~repro.store.executor` — ``multiprocessing`` map of
+  scan → filter → partial-aggregate over chunks, with associative merge;
+* :mod:`~repro.store.cache` — an LRU of decoded chunks with hit/miss
+  counters;
+* :mod:`~repro.store.writer` / :mod:`~repro.store.reader` — atomic
+  store writing, :class:`TraceStore`, and a lazily-backed
+  :class:`~repro.trace.dataset.TraceDataset`;
+* :mod:`~repro.store.convert` — CSV layout ↔ store conversion.
+
+Quick tour::
+
+    from repro.store import Agg, Between, Compare, open_store
+
+    store = open_store("traces/d.store")
+    busy = (store.scan("instance_usage")
+                 .where(Between("start_time", 0, 6 * 3600)
+                        & Compare("tier", "==", "prod"))
+                 .select("avg_cpu", "duration"))
+    result = busy.aggregate(Agg("sum", "avg_cpu"), Agg("count"), workers=4)
+    print(result, busy.last_stats)   # ... chunks 3/40 decoded (37 skipped) ...
+"""
+
+from repro.store.cache import CacheStats, ChunkCache
+from repro.store.convert import convert_csv_to_store, convert_store_to_csv
+from repro.store.executor import (
+    AGG_KINDS,
+    Agg,
+    default_workers,
+    merge_partials,
+    partial_aggregate,
+)
+from repro.store.format import read_chunk, read_chunk_header, write_chunk
+from repro.store.manifest import MANIFEST_FILE, Manifest, chunk_stats
+from repro.store.predicates import And, Between, Compare, IsIn, Or, Predicate
+from repro.store.reader import StoreBackedTraceDataset, TraceStore, open_store
+from repro.store.scan import Scan, ScanStats
+from repro.store.writer import (DEFAULT_CHUNK_ROWS, DEFAULT_CLUSTER_BY,
+                                write_store)
+
+__all__ = [
+    "AGG_KINDS",
+    "Agg",
+    "And",
+    "Between",
+    "CacheStats",
+    "ChunkCache",
+    "Compare",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_CLUSTER_BY",
+    "IsIn",
+    "MANIFEST_FILE",
+    "Manifest",
+    "Or",
+    "Predicate",
+    "Scan",
+    "ScanStats",
+    "StoreBackedTraceDataset",
+    "TraceStore",
+    "chunk_stats",
+    "convert_csv_to_store",
+    "convert_store_to_csv",
+    "default_workers",
+    "merge_partials",
+    "open_store",
+    "partial_aggregate",
+    "read_chunk",
+    "read_chunk_header",
+    "write_chunk",
+    "write_store",
+]

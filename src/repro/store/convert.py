@@ -1,0 +1,41 @@
+"""Conversions between the CSV trace layout and the chunked store.
+
+``convert_csv_to_store`` is what ``borg-repro convert`` runs: read a
+directory written by ``save_trace(..., format="csv")`` and re-encode it
+as a chunked columnar store (atomically).  The reverse direction exists
+for interoperability with the 2011-style CSV tooling.
+
+Imports of :mod:`repro.trace.io` are deferred into the functions because
+``trace.io`` itself imports the store writer/reader (the two layers are
+mutually aware by design, like BigQuery's load/export paths).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+from repro.store.reader import TraceStore
+from repro.store.writer import (DEFAULT_CHUNK_ROWS, DEFAULT_CLUSTER_BY,
+                                write_store)
+
+
+def convert_csv_to_store(src: Union[str, os.PathLike],
+                         dst: Union[str, os.PathLike],
+                         chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                         cluster_by: Optional[Dict[str, str]] = DEFAULT_CLUSTER_BY) -> TraceStore:
+    """Re-encode a CSV trace directory as a store; returns it opened."""
+    from repro.trace.io import load_trace
+
+    trace = load_trace(src, format="csv")
+    write_store(trace, dst, chunk_rows=chunk_rows, cluster_by=cluster_by)
+    return TraceStore(dst)
+
+
+def convert_store_to_csv(src: Union[str, os.PathLike],
+                         dst: Union[str, os.PathLike]) -> None:
+    """Materialize a store back into the flat CSV layout."""
+    from repro.trace.io import save_trace
+
+    trace = TraceStore(src).to_dataset()
+    save_trace(trace, dst, format="csv")

@@ -1,0 +1,146 @@
+"""The on-disk chunk format: one binary file per row group.
+
+A chunk file holds a horizontal slice of one trace table, encoded
+column-by-column so that a reader can decode a *projection* (a subset of
+columns) without touching the bytes of the others — the columnar half of
+the BigQuery substitution (see DESIGN.md §9 note).
+
+Layout::
+
+    8 bytes   magic ``RSTORE1\\n``
+    8 bytes   little-endian uint64: header length H
+    H bytes   UTF-8 JSON header
+    ...       column payloads, in header order
+
+The JSON header records, per column, its ``name``, ``kind`` (one of the
+four :class:`~repro.table.column.Column` kinds) and payload byte length,
+so a reader can seek straight to any column.  Payload encodings:
+
+* ``float`` — raw little-endian ``float64`` (``inf``/``nan`` round-trip
+  exactly, unlike CSV text)
+* ``int``   — raw little-endian ``int64``
+* ``bool``  — one ``uint8`` per value
+* ``str``   — ``n + 1`` little-endian ``int64`` offsets, then the
+  concatenated UTF-8 bytes of all values
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+from typing import BinaryIO, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.table.column import Column
+from repro.table.table import Table
+from repro.util.errors import SchemaError
+
+MAGIC = b"RSTORE1\n"
+CHUNK_SUFFIX = ".rsc"
+
+_LEN = struct.Struct("<Q")
+
+
+def _encode_column(column: Column) -> bytes:
+    kind = column.kind
+    values = column.values
+    if kind == "float":
+        return values.astype("<f8").tobytes()
+    if kind == "int":
+        return values.astype("<i8").tobytes()
+    if kind == "bool":
+        return values.astype(np.uint8).tobytes()
+    blobs = [v.encode("utf-8") for v in values]
+    offsets = np.zeros(len(blobs) + 1, dtype="<i8")
+    np.cumsum([len(b) for b in blobs], out=offsets[1:])
+    return offsets.tobytes() + b"".join(blobs)
+
+
+def _decode_column(kind: str, rows: int, payload: bytes) -> Column:
+    if kind == "float":
+        return Column(np.frombuffer(payload, dtype="<f8", count=rows).astype(np.float64))
+    if kind == "int":
+        return Column(np.frombuffer(payload, dtype="<i8", count=rows).astype(np.int64))
+    if kind == "bool":
+        return Column(np.frombuffer(payload, dtype=np.uint8, count=rows).astype(bool))
+    offsets = np.frombuffer(payload, dtype="<i8", count=rows + 1)
+    blob = payload[(rows + 1) * 8:]
+    out = np.empty(rows, dtype=object)
+    for i in range(rows):
+        out[i] = blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+    return Column(out)
+
+
+def write_chunk(table: Table, dest: Union[str, os.PathLike, BinaryIO]) -> int:
+    """Serialize ``table`` as one chunk; returns the bytes written."""
+    payloads = []
+    header_cols = []
+    for name in table.column_names:
+        column = table.column(name)
+        payload = _encode_column(column)
+        payloads.append(payload)
+        header_cols.append({"name": name, "kind": column.kind,
+                            "nbytes": len(payload)})
+    header = json.dumps({"rows": len(table), "columns": header_cols},
+                        separators=(",", ":")).encode("utf-8")
+    blob = MAGIC + _LEN.pack(len(header)) + header + b"".join(payloads)
+    if hasattr(dest, "write"):
+        dest.write(blob)
+    else:
+        with open(dest, "wb") as f:
+            f.write(blob)
+    return len(blob)
+
+
+def read_chunk_header(source: Union[str, os.PathLike, BinaryIO]) -> dict:
+    """The JSON header of a chunk file (no column payloads decoded)."""
+    if hasattr(source, "read"):
+        return _read_header(source)
+    with open(source, "rb") as f:
+        return _read_header(f)
+
+
+def _read_header(f: BinaryIO) -> dict:
+    magic = f.read(len(MAGIC))
+    if magic != MAGIC:
+        raise SchemaError(f"not a repro store chunk (bad magic {magic!r})")
+    (header_len,) = _LEN.unpack(f.read(_LEN.size))
+    return json.loads(f.read(header_len).decode("utf-8"))
+
+
+def read_chunk(source: Union[str, os.PathLike, BinaryIO],
+               columns: Optional[Sequence[str]] = None) -> Table:
+    """Decode a chunk file into a :class:`Table`.
+
+    ``columns``, if given, selects and orders a projection; the payloads
+    of unrequested columns are skipped with seeks, not read.
+    """
+    if hasattr(source, "read"):
+        return _read_chunk(source, columns)
+    with open(source, "rb") as f:
+        return _read_chunk(f, columns)
+
+
+def _read_chunk(f: BinaryIO, columns: Optional[Sequence[str]]) -> Table:
+    header = _read_header(f)
+    rows = header["rows"]
+    available = {c["name"]: c for c in header["columns"]}
+    wanted: List[str] = list(columns) if columns is not None else list(available)
+    for name in wanted:
+        if name not in available:
+            raise SchemaError(
+                f"chunk has no column {name!r}; available: {sorted(available)}"
+            )
+    # Single pass: seek past unwanted payloads, read wanted ones.
+    decoded = {}
+    wanted_set = set(wanted)
+    for meta in header["columns"]:
+        if meta["name"] in wanted_set:
+            payload = f.read(meta["nbytes"])
+            decoded[meta["name"]] = _decode_column(meta["kind"], rows, payload)
+        else:
+            f.seek(meta["nbytes"], io.SEEK_CUR)
+    return Table({name: decoded[name] for name in wanted})

@@ -1,0 +1,207 @@
+"""Pushdown predicates: picklable filters evaluated at two levels.
+
+Every predicate answers two questions:
+
+* :meth:`Predicate.maybe_matches` — given a chunk's ``{column: {"min",
+  "max"}}`` statistics, *could* any row match?  ``False`` proves the
+  chunk is irrelevant and it is skipped without decoding (pushdown).
+  ``True`` is conservative: statistics can never prove a match, only
+  rule one out.
+* :meth:`Predicate.mask` — given a decoded :class:`Table`, the exact
+  boolean row mask.
+
+Unlike :class:`repro.table.expr.Expr` (closures, not picklable), these
+are plain data objects, so the parallel executor can ship them to worker
+processes, and scans can reason about which columns they touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.table.table import Table
+
+Stats = Dict[str, Dict[str, object]]
+
+_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class Predicate:
+    """Base class; combine with ``&`` and ``|``."""
+
+    def columns(self) -> Set[str]:
+        raise NotImplementedError
+
+    def maybe_matches(self, stats: Stats) -> bool:
+        raise NotImplementedError
+
+    def mask(self, table: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+def _bounds(stats: Stats, column: str) -> Tuple[object, object]:
+    """(min, max) for ``column``, or ``(None, None)`` when unknown."""
+    entry = stats.get(column)
+    if not entry:
+        return None, None
+    return entry.get("min"), entry.get("max")
+
+
+class Compare(Predicate):
+    """``column <op> value`` for a scalar value."""
+
+    def __init__(self, column: str, op: str, value):
+        if op not in _OPS:
+            raise ValueError(f"unknown operator {op!r}; use one of {_OPS}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def columns(self) -> Set[str]:
+        return {self.column}
+
+    def maybe_matches(self, stats: Stats) -> bool:
+        lo, hi = _bounds(stats, self.column)
+        if lo is None:
+            return True
+        v, op = self.value, self.op
+        try:
+            if op == "==":
+                return lo <= v <= hi
+            if op == "!=":
+                return not (lo == hi == v)
+            if op == "<":
+                return lo < v
+            if op == "<=":
+                return lo <= v
+            if op == ">":
+                return hi > v
+            return hi >= v
+        except TypeError:
+            # Incomparable stat/value types (e.g. str stats vs numeric
+            # predicate): never prune on type confusion.
+            return True
+
+    def mask(self, table: Table) -> np.ndarray:
+        column = table.column(self.column)
+        return {
+            "==": column.__eq__, "!=": column.__ne__,
+            "<": column.__lt__, "<=": column.__le__,
+            ">": column.__gt__, ">=": column.__ge__,
+        }[self.op](self.value)
+
+    def describe(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+class Between(Predicate):
+    """Inclusive range test (SQL ``BETWEEN``) — the time-window workhorse."""
+
+    def __init__(self, column: str, lo, hi):
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+
+    def columns(self) -> Set[str]:
+        return {self.column}
+
+    def maybe_matches(self, stats: Stats) -> bool:
+        lo, hi = _bounds(stats, self.column)
+        if lo is None:
+            return True
+        try:
+            return hi >= self.lo and lo <= self.hi
+        except TypeError:
+            return True
+
+    def mask(self, table: Table) -> np.ndarray:
+        values = table.column(self.column).values
+        return np.asarray((values >= self.lo) & (values <= self.hi), dtype=bool)
+
+    def describe(self) -> str:
+        return f"({self.column} between {self.lo!r} and {self.hi!r})"
+
+
+class IsIn(Predicate):
+    """Membership in a finite value set."""
+
+    def __init__(self, column: str, values: Iterable):
+        self.column = column
+        self.values = tuple(values)
+
+    def columns(self) -> Set[str]:
+        return {self.column}
+
+    def maybe_matches(self, stats: Stats) -> bool:
+        lo, hi = _bounds(stats, self.column)
+        if lo is None:
+            return True
+        try:
+            return any(lo <= v <= hi for v in self.values)
+        except TypeError:
+            return True
+
+    def mask(self, table: Table) -> np.ndarray:
+        return table.column(self.column).isin(self.values)
+
+    def describe(self) -> str:
+        return f"({self.column} in {list(self.values)!r})"
+
+
+class _Combined(Predicate):
+    def __init__(self, *parts: Predicate):
+        flat = []
+        for part in parts:
+            if type(part) is type(self):
+                flat.extend(part.parts)  # type: ignore[attr-defined]
+            else:
+                flat.append(part)
+        self.parts: Sequence[Predicate] = tuple(flat)
+
+    def columns(self) -> Set[str]:
+        out: Set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+
+class And(_Combined):
+    def maybe_matches(self, stats: Stats) -> bool:
+        return all(part.maybe_matches(stats) for part in self.parts)
+
+    def mask(self, table: Table) -> np.ndarray:
+        out = np.ones(len(table), dtype=bool)
+        for part in self.parts:
+            out &= part.mask(table)
+        return out
+
+    def describe(self) -> str:
+        return "(" + " & ".join(p.describe() for p in self.parts) + ")"
+
+
+class Or(_Combined):
+    def maybe_matches(self, stats: Stats) -> bool:
+        return any(part.maybe_matches(stats) for part in self.parts)
+
+    def mask(self, table: Table) -> np.ndarray:
+        out = np.zeros(len(table), dtype=bool)
+        for part in self.parts:
+            out |= part.mask(table)
+        return out
+
+    def describe(self) -> str:
+        return "(" + " | ".join(p.describe() for p in self.parts) + ")"

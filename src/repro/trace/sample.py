@@ -17,7 +17,6 @@ from typing import Optional, Set
 
 import numpy as np
 
-from repro.analysis.common import job_usage_integrals
 from repro.table import Table
 from repro.trace.dataset import TraceDataset
 
@@ -59,6 +58,12 @@ def sample_trace(trace: TraceDataset, mouse_fraction: float = 0.1,
     if not 0.5 <= hog_quantile < 1:
         raise ValueError(f"hog_quantile must be in [0.5, 1), got {hog_quantile}")
     rng = np.random.default_rng(seed)
+
+    # Imported here, not at module top: analysis.common imports
+    # repro.trace.dataset, whose package init imports this module —
+    # a top-level import makes `import repro.analysis` (and the CLI's
+    # cold start) fail with a partially-initialized-module error.
+    from repro.analysis.common import job_usage_integrals
 
     integrals = job_usage_integrals(trace, include_alloc_sets=True)
     hours = integrals.column("ncu_hours").values

@@ -1,0 +1,49 @@
+"""Filesystem helpers: crash-safe directory replacement.
+
+Trace directories (CSV or store) are written in full into a hidden
+sibling temp directory and then renamed into place, so a run killed
+mid-write can never leave a half-written trace that a later
+``load_trace`` mis-parses: readers either see the complete old contents
+or the complete new contents.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import uuid
+from pathlib import Path
+from typing import Iterator, Union
+
+
+@contextlib.contextmanager
+def atomic_directory(final: Union[str, os.PathLike]) -> Iterator[Path]:
+    """Yield a temp directory that replaces ``final`` on clean exit.
+
+    On an exception the temp directory is removed and ``final`` is left
+    untouched.  Replacement is two renames (old aside, new in place), so
+    the window where ``final`` is missing is as small as the OS allows;
+    the displaced old contents are deleted last.
+    """
+    final = Path(final)
+    final.parent.mkdir(parents=True, exist_ok=True)
+    token = uuid.uuid4().hex[:8]
+    tmp = final.parent / f".{final.name}.tmp-{token}"
+    tmp.mkdir(parents=True)
+    try:
+        yield tmp
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    old = final.parent / f".{final.name}.old-{token}"
+    if final.exists():
+        os.rename(final, old)
+    try:
+        os.rename(tmp, final)
+    except BaseException:
+        if old.exists():  # roll the previous contents back into place
+            os.rename(old, final)
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    shutil.rmtree(old, ignore_errors=True)

@@ -1,5 +1,7 @@
 """Tests for the borg-repro command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -60,6 +62,107 @@ class TestValidate:
         rc = main(["validate", str(broken)])
         assert rc == 1
         assert "violations" in capsys.readouterr().out
+
+
+class TestSimulateStoreFormat:
+    def test_store_format_and_timing_log(self, tmp_path, capsys):
+        rc = main([
+            "simulate", "--cells", "d", "--out", str(tmp_path),
+            "--machines", "8", "--hours", "2", "--scale", "0.01",
+            "--seed", "3", "--format", "store",
+        ])
+        assert rc == 0
+        assert (tmp_path / "d" / "manifest.json").exists()
+        out = capsys.readouterr().out
+        assert "simulated in" in out and "saved (store)" in out
+        assert "rows written: total=" in out
+        assert "instance_usage=" in out
+
+
+@pytest.fixture(scope="module")
+def store_dir(trace_dirs, tmp_path_factory):
+    """Cell d's CSV trace converted to a store via the CLI."""
+    dst = tmp_path_factory.mktemp("store") / "d.store"
+    rc = main(["convert", str(trace_dirs / "d"), str(dst),
+               "--chunk-rows", "64"])
+    assert rc == 0
+    assert (dst / "manifest.json").exists()
+    return dst
+
+
+class TestConvert:
+    def test_convert_reports_rows_and_chunks(self, trace_dirs, tmp_path,
+                                             capsys):
+        dst = tmp_path / "s"
+        rc = main(["convert", str(trace_dirs / "d"), str(dst),
+                   "--chunk-rows", "128"])
+        assert rc == 0
+        assert "chunks" in capsys.readouterr().out
+
+    def test_convert_back_to_csv(self, store_dir, tmp_path, capsys):
+        dst = tmp_path / "csv"
+        rc = main(["convert", str(store_dir), str(dst), "--to", "csv"])
+        assert rc == 0
+        assert (dst / "metadata.json").exists()
+        assert (dst / "instance_usage.csv").exists()
+
+    def test_converted_store_validates(self, store_dir, capsys):
+        assert main(["validate", str(store_dir)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_count_matches_source_trace(self, trace_dirs, store_dir, capsys):
+        from repro.trace import load_trace
+
+        expected = len(load_trace(trace_dirs / "d").instance_usage)
+        rc = main(["query", str(store_dir), "instance_usage",
+                   "--agg", "count"])
+        assert rc == 0
+        assert f"count = {expected}" in capsys.readouterr().out
+
+    def test_time_window_matches_in_memory_filter(self, trace_dirs, store_dir,
+                                                  capsys):
+        from repro.trace import load_trace
+
+        t = load_trace(trace_dirs / "d").instance_usage.column(
+            "start_time").values
+        expected = int(((t >= 0) & (t <= 7200)).sum())
+        rc = main(["query", str(store_dir), "instance_usage",
+                   "--where", "start_time between 0 7200",
+                   "--agg", "count", "--agg", "mean:avg_cpu"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert f"count = {expected}" in captured.out
+        assert "mean(avg_cpu) = " in captured.out
+        # Pushdown summary goes to stderr; the window must skip chunks.
+        skipped = re.search(r"\((\d+) skipped\)", captured.err)
+        assert skipped is not None and int(skipped.group(1)) > 0
+
+    def test_parallel_workers_agree_with_serial(self, store_dir, capsys):
+        argv = ["query", str(store_dir), "instance_usage",
+                "--where", "tier in prod,mid", "--agg", "sum:avg_cpu"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_row_output_with_select_and_limit(self, store_dir, capsys):
+        rc = main(["query", str(store_dir), "instance_usage",
+                   "--select", "start_time,avg_cpu", "--limit", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "start_time" in out and "avg_cpu" in out
+
+    def test_bad_where_clause_exits(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["query", str(store_dir), "instance_usage",
+                  "--where", "nonsense"])
+
+    def test_bad_agg_spec_exits(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["query", str(store_dir), "instance_usage",
+                  "--agg", "histogram:avg_cpu"])
 
 
 class TestReport:

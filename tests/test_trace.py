@@ -194,3 +194,96 @@ class TestIo:
         (tmp_path / "t" / "instance_usage.csv").unlink()
         with pytest.raises(SchemaError):
             load_trace(tmp_path / "t")
+
+    def test_all_missing_tables_reported_at_once(self, trace_2011, tmp_path):
+        save_trace(trace_2011, tmp_path / "t")
+        (tmp_path / "t" / "instance_usage.csv").unlink()
+        (tmp_path / "t" / "machine_events.csv").unlink()
+        with pytest.raises(SchemaError) as err:
+            load_trace(tmp_path / "t")
+        message = str(err.value)
+        assert "instance_usage.csv" in message
+        assert "machine_events.csv" in message
+        assert "2 table(s)" in message
+
+    def test_crash_mid_save_preserves_old_trace(self, trace_2011, tmp_path,
+                                                monkeypatch):
+        save_trace(trace_2011, tmp_path / "t")
+        import repro.trace.io as io_mod
+
+        def exploding(table, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(io_mod, "write_csv", exploding)
+        with pytest.raises(OSError):
+            save_trace(trace_2011, tmp_path / "t")
+        # The old trace is untouched and still loads; no temp litter.
+        back = load_trace(tmp_path / "t")
+        assert len(back.instance_usage) == len(trace_2011.instance_usage)
+        assert [p.name for p in tmp_path.iterdir()] == ["t"]
+
+
+def _edge_dataset() -> TraceDataset:
+    """Unicode users, inf/nan usage floats, and three empty tables."""
+    ce = Table.from_rows([
+        {"time": 1.0, "collection_id": 1, "type": "SUBMIT",
+         "collection_type": "job", "priority": 200, "tier": "prod",
+         "user": "алиса", "scheduler": "borg", "parent_collection_id": -1,
+         "alloc_collection_id": -1, "vertical_scaling": "none",
+         "constraint": "", "num_instances": 1},
+        {"time": 2.0, "collection_id": 2, "type": "SUBMIT",
+         "collection_type": "job", "priority": 103, "tier": "beb",
+         "user": "ユーザー名-2", "scheduler": "borg",
+         "parent_collection_id": -1, "alloc_collection_id": -1,
+         "vertical_scaling": "none", "constraint": "", "num_instances": 2},
+    ], columns=SCHEMA_2019["collection_events"])
+    iu = Table.from_rows([
+        {"start_time": 0.0, "duration": 300.0, "collection_id": 1,
+         "instance_index": 0, "machine_id": 0, "tier": "prod",
+         "vertical_scaling": "none", "in_alloc": False,
+         "avg_cpu": float("nan"), "max_cpu": float("inf"),
+         "avg_mem": float("-inf"), "max_mem": 0.25,
+         "limit_cpu": 1.0, "limit_mem": 1.0},
+    ], columns=SCHEMA_2019["instance_usage"])
+    return TraceDataset(cell="edge", era="2019", horizon=3600.0,
+                        sample_period=300.0, utc_offset_hours=0.0,
+                        capacity_cpu=1.0, capacity_mem=1.0,
+                        tables={"collection_events": ce, "instance_usage": iu})
+
+
+class TestIoEdgeCases:
+    """Round trips that stress both on-disk formats the same way."""
+
+    @pytest.mark.parametrize("format", ["csv", "store"])
+    def test_empty_tables_round_trip(self, tmp_path, format):
+        save_trace(_edge_dataset(), tmp_path / "t", format=format)
+        back = load_trace(tmp_path / "t")
+        for name in ("instance_events", "machine_events", "machine_attributes"):
+            assert len(back.tables[name]) == 0
+            assert back.tables[name].column_names == SCHEMA_2019[name]
+
+    @pytest.mark.parametrize("format", ["csv", "store"])
+    def test_unicode_users_round_trip(self, tmp_path, format):
+        save_trace(_edge_dataset(), tmp_path / "t", format=format)
+        back = load_trace(tmp_path / "t")
+        users = back.collection_events.column("user").values.tolist()
+        assert users == ["алиса", "ユーザー名-2"]
+
+    @pytest.mark.parametrize("format", ["csv", "store"])
+    def test_inf_nan_floats_round_trip(self, tmp_path, format):
+        save_trace(_edge_dataset(), tmp_path / "t", format=format)
+        iu = load_trace(tmp_path / "t").instance_usage
+        assert np.isnan(iu.column("avg_cpu").values[0])
+        assert iu.column("max_cpu").values[0] == float("inf")
+        assert iu.column("avg_mem").values[0] == float("-inf")
+        assert iu.column("max_mem").values[0] == 0.25
+
+    @pytest.mark.parametrize("format", ["csv", "store"])
+    def test_metadata_round_trips(self, tmp_path, format):
+        ds = _edge_dataset()
+        save_trace(ds, tmp_path / "t", format=format)
+        back = load_trace(tmp_path / "t")
+        assert back.cell == "edge"
+        assert back.era == "2019"
+        assert back.horizon == ds.horizon
+        assert back.capacity_mem == ds.capacity_mem
