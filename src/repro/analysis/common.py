@@ -11,7 +11,7 @@ across worker processes) and the partials merge associatively.
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 

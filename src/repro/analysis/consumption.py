@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.common import job_usage_integrals
 from repro.stats.ccdf import Ccdf, empirical_ccdf

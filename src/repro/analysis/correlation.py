@@ -9,7 +9,7 @@ treat CPU and memory separately (section 7.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

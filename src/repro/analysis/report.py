@@ -8,7 +8,7 @@ comparison (EXPERIMENTS.md) is a side-by-side read.
 from __future__ import annotations
 
 import io
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -16,6 +16,7 @@ from repro.analysis.common import merge_monitoring_tier
 from repro.stats.ccdf import Ccdf, empirical_ccdf
 from repro.table import Table
 from repro.trace.dataset import TraceDataset
+from repro.util.timeutil import HOUR_SECONDS
 
 
 def scheduling_delays(trace: TraceDataset,
@@ -60,7 +61,7 @@ def scheduling_delays(trace: TraceDataset,
             if cid not in first_run or t < first_run[cid]:
                 first_run[cid] = t
 
-    cutoff = skip_warmup_hours * 3600.0
+    cutoff = skip_warmup_hours * HOUR_SECONDS
     rows = {"collection_id": [], "tier": [], "delay": []}
     for cid, t_ready in ready.items():
         if not is_job.get(cid, False) or cid not in first_run:

@@ -10,12 +10,11 @@ analogue of the hogs-and-mice story.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.analysis.common import group_reduce, job_usage_integrals
-from repro.table import Table, concat
+from repro.analysis.common import job_usage_integrals
 from repro.trace.dataset import TraceDataset
 
 

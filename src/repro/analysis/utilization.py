@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.analysis.common import TIER_ORDER, average_tier_fractions, hourly_tier_series
 from repro.trace.dataset import TraceDataset
+from repro.util.timeutil import HOUR_SECONDS
 
 
 def usage_timeseries(trace: TraceDataset, resource: str = "cpu") -> Dict[str, np.ndarray]:
@@ -23,7 +24,7 @@ def mean_usage_timeseries(traces: Sequence[TraceDataset],
     """
     if not traces:
         raise ValueError("mean_usage_timeseries requires at least one trace")
-    lengths = {int(np.ceil(t.horizon / 3600.0)) for t in traces}
+    lengths = {int(np.ceil(t.horizon / HOUR_SECONDS)) for t in traces}
     if len(lengths) != 1:
         raise ValueError(f"traces have different horizons: {sorted(lengths)}")
     acc: Dict[str, np.ndarray] = {}

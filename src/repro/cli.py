@@ -18,6 +18,10 @@ convert
 query
     Run a projection + predicate + aggregate against a store straight
     from the command line, optionally over multiple worker processes.
+lint
+    Run the repo's AST-based static-analysis pass (schema consistency,
+    determinism, fork safety, exception hygiene, unit discipline) over
+    source files or directories.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.report import full_report
+from repro.lint import iter_python_files, lint_file
+from repro.lint import render as render_lint
 from repro.store import (
     Agg,
     And,
@@ -213,6 +219,25 @@ def _query(args) -> int:
     return 0
 
 
+def _lint(args) -> int:
+    select = None
+    if args.select:
+        select = sorted({rule_id.strip().upper()
+                         for spec in args.select
+                         for rule_id in spec.split(",") if rule_id.strip()})
+    violations = []
+    files_checked = 0
+    try:
+        for path in iter_python_files(args.paths):
+            files_checked += 1
+            violations.extend(lint_file(path, select))
+    except (OSError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    return render_lint(violations, files_checked, sys.stdout,
+                       format=args.format, statistics=args.statistics)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="borg-repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -269,6 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--limit", type=int, default=10,
                          help="max rows to print without --agg (default 10)")
     p_query.set_defaults(func=_query)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo's static-analysis rules (RPR001-RPR005)")
+    p_lint.add_argument("paths", nargs="+",
+                        help="files or directories to lint (e.g. src/)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default text)")
+    p_lint.add_argument("--select", action="append", default=[],
+                        metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all; repeatable)")
+    p_lint.add_argument("--statistics", action="store_true",
+                        help="append per-rule violation counts (text format)")
+    p_lint.set_defaults(func=_lint)
 
     return parser
 

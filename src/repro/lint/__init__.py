@@ -1,0 +1,63 @@
+"""``repro.lint`` — AST-based static analysis for repo invariants.
+
+The trace pipeline's correctness rests on a handful of invariants that
+runtime tests only probe pointwise: one canonical table schema, a
+deterministic simulator, picklable executor callables, honest exception
+handling, and named unit constants.  This package enforces them at zero
+runtime cost with a small rule engine (see :mod:`repro.lint.core`) and
+five repo-specific rules (see :mod:`repro.lint.rules`), wired into the
+``borg-repro lint`` CLI subcommand and CI.
+
+Quick use::
+
+    from repro.lint import lint_paths
+    violations = lint_paths(["src"])          # all rules
+    violations = lint_paths(["src"], select=["RPR002"])
+
+Suppress a single finding with a line comment::
+
+    window = horizon / 3600.0  # repro: noqa[RPR005] legacy figure script
+"""
+
+from repro.lint.core import (
+    RULES,
+    FileContext,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_noqa,
+    rule,
+)
+from repro.lint.reporting import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    exit_code,
+    render,
+    render_json,
+    render_text,
+)
+import repro.lint.rules  # noqa: F401,E402  (registers the built-in rules)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_VIOLATIONS",
+    "FileContext",
+    "RULES",
+    "Rule",
+    "Violation",
+    "exit_code",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_noqa",
+    "render",
+    "render_json",
+    "render_text",
+    "rule",
+]

@@ -1,0 +1,27 @@
+"""The built-in rule set.  Importing this package registers every rule.
+
+Rule catalogue
+--------------
+RPR001  schema consistency — column strings must exist in the canonical
+        schema of the table being read (repro/trace/schema.py).
+RPR002  determinism — no wall clocks or global RNG inside repro.sim and
+        repro.workload; only injected np.random.Generator streams.
+RPR003  fork safety — map/reduce callables handed to the store executor
+        must be importable by name from worker processes.
+RPR004  exception hygiene — broad excepts must re-raise, log, or narrow.
+RPR005  unit discipline — resource/time magnitudes go through the named
+        constants in repro.util, never raw literals.
+
+Adding a rule: create a module here defining a :class:`repro.lint.Rule`
+subclass with the next free ``RPR`` id, decorate it with
+``@repro.lint.core.rule``, and import the module below.  The driver,
+reporters, ``noqa`` handling, CLI, and CI pick it up automatically.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    exception_hygiene,
+    fork_safety,
+    schema_consistency,
+    unit_discipline,
+)

@@ -1,0 +1,68 @@
+"""RPR004 — exception hygiene: no silently-swallowed broad excepts.
+
+A bare ``except:`` or an ``except Exception:`` whose body neither
+re-raises nor records what happened converts every future bug into a
+silent wrong answer.  In a pipeline whose whole point is that trace
+invariants are *checked* (paper section 9), swallowed exceptions are how
+bad data sneaks past the checks, so broad handlers must re-raise, log,
+warn, or print what they caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Rule, Violation, rule
+
+BROAD = ("Exception", "BaseException")
+
+#: Call attribute/function names that count as "recording the failure".
+_REPORTING_NAMES = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+    "log", "print", "print_exc", "fail", "add_violation",
+})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    return any(isinstance(t, ast.Name) and t.id in BROAD for t in types)
+
+
+def _reports_or_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name in _REPORTING_NAMES:
+                return True
+    return False
+
+
+@rule
+class ExceptionHygieneRule(Rule):
+    id = "RPR004"
+    summary = ("broad except swallows the error; re-raise, log, or "
+               "narrow the exception type")
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _reports_or_reraises(node):
+                continue
+            caught = "bare except" if node.type is None \
+                else f"except {ast.unparse(node.type)}"
+            yield self.violation(
+                context, node,
+                f"{caught} swallows the error without re-raising or "
+                "logging; handle a narrower type or record the failure",
+            )

@@ -1,0 +1,59 @@
+"""RPR005 — unit discipline: no raw resource/time-magnitude literals.
+
+All simulator and trace timestamps are seconds, and all resource values
+are normalized units; the conversion constants live in
+:mod:`repro.util.timeutil` and :mod:`repro.util.units`.  A raw ``3600``
+in an analysis is a silent unit assumption — the exact class of bug the
+paper's normalized-unit scheme (NCU/NMU, section 5) exists to prevent —
+so every magnitude literal outside the two unit modules must go through
+the named constant instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Union
+
+from repro.lint.core import FileContext, Rule, Violation, rule
+
+#: Magnitude -> the named constant that must be used instead.
+MAGNITUDES: Dict[Union[int, float], str] = {
+    3600: "repro.util.timeutil.HOUR_SECONDS",
+    86400: "repro.util.timeutil.DAY_SECONDS",
+    604800: "7 * repro.util.timeutil.DAY_SECONDS",
+    1_048_576: "a MiB/GiB helper in repro.util.units",
+    1_073_741_824: "a MiB/GiB helper in repro.util.units",
+    1_099_511_627_776: "a TiB helper in repro.util.units",
+    1_000_000_000: "a named constant in repro.util.units",
+}
+
+#: The two modules that *define* unit constants may spell out literals.
+ALLOWED_FILES = ("units.py", "timeutil.py")
+
+
+@rule
+class UnitDisciplineRule(Rule):
+    id = "RPR005"
+    summary = ("raw resource/time-magnitude literal; use the named "
+               "constant from repro.util")
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        # Definition sites are exempt: the unit modules declare the
+        # constants, and the lint package declares this very magnitude
+        # table.
+        if context.is_file(*ALLOWED_FILES) and context.in_directory("util"):
+            return
+        if context.in_directory("lint"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            magnitude = MAGNITUDES.get(abs(value))
+            if magnitude is not None:
+                yield self.violation(
+                    context, node,
+                    f"raw magnitude literal {value!r}; use {magnitude}",
+                )

@@ -22,7 +22,6 @@ from repro.sim.batch import BatchParams, BatchQueue
 from repro.sim.dependencies import DependencyManager
 from repro.sim.entities import (
     Collection,
-    CollectionType,
     EndReason,
     Instance,
     InstanceState,

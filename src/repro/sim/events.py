@@ -10,7 +10,7 @@ separates ``collection_events`` and ``instance_events`` tables.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

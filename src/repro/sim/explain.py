@@ -17,14 +17,14 @@ admission arithmetic, exhaustive instead of sampled.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.entities import Instance
 from repro.sim.machine import Machine
 from repro.sim.priority import Tier
 from repro.sim.resources import Resources
-from repro.sim.scheduler import PlacementPolicy, SchedulerParams
+from repro.sim.scheduler import SchedulerParams
 
 
 class Verdict(enum.Enum):
@@ -129,7 +129,7 @@ def explain_placement(machines: Sequence[Machine], request: Resources,
                       ) -> PlacementExplanation:
     """Exhaustively assess ``request`` against every machine.
 
-    Mirrors :class:`PlacementPolicy` admission arithmetic exactly, but
+    Mirrors :class:`~repro.sim.scheduler.PlacementPolicy` admission arithmetic exactly, but
     scans the whole fleet and records *why* for each machine rather than
     stopping at the first fit.  Intended for operator/user diagnostics,
     not the scheduling hot path.

@@ -8,10 +8,9 @@ that instances under-use their limits (paper section 4, figure 4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.sim.entities import Instance
-from repro.sim.priority import Tier
 from repro.sim.resources import Resources
 from repro.util.errors import SimulationError
 

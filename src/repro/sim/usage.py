@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.util.timeutil import DAY_SECONDS, SAMPLE_PERIOD_SECONDS
+from repro.util.timeutil import HOUR_SECONDS, SAMPLE_PERIOD_SECONDS
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,7 @@ class UsageModel:
 
     def _diurnal(self, t: np.ndarray) -> np.ndarray:
         """Multiplicative diurnal factor peaking mid-afternoon local time."""
-        local_hours = (t / 3600.0 + self.utc_offset_hours) % 24.0
+        local_hours = (t / HOUR_SECONDS + self.utc_offset_hours) % 24.0
         phase = 2.0 * np.pi * (local_hours - 15.0) / 24.0
         return 1.0 + self.params.diurnal_amplitude * np.cos(phase)
 
@@ -114,6 +114,6 @@ def diurnal_rate_factor(t: float, utc_offset_hours: float,
     section 4.1 (Singapore's cell g busy when US cells sleep) emerges
     from cell time zones.
     """
-    local_hours = (t / 3600.0 + utc_offset_hours) % 24.0
+    local_hours = (t / HOUR_SECONDS + utc_offset_hours) % 24.0
     phase = 2.0 * np.pi * (local_hours - 15.0) / 24.0
     return 1.0 + amplitude * float(np.cos(phase))

@@ -7,7 +7,7 @@ The paper's section 7 finding: the top 1% of jobs ("hogs") consume over
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -34,7 +34,7 @@ from typing import BinaryIO, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.table.column import Column
+from repro.table.column import KINDS, Column
 from repro.table.table import Table
 from repro.util.errors import SchemaError
 
@@ -60,6 +60,9 @@ def _encode_column(column: Column) -> bytes:
 
 
 def _decode_column(kind: str, rows: int, payload: bytes) -> Column:
+    if kind not in KINDS:
+        raise SchemaError(f"chunk column has unknown kind {kind!r}; "
+                          f"this reader understands {KINDS}")
     if kind == "float":
         return Column(np.frombuffer(payload, dtype="<f8", count=rows).astype(np.float64))
     if kind == "int":

@@ -22,6 +22,7 @@ import numpy as np
 from repro.store.format import CHUNK_SUFFIX, write_chunk
 from repro.store.manifest import Manifest, chunk_stats
 from repro.table.table import Table
+from repro.trace.schema import TIME_COLUMNS
 from repro.util.fs import atomic_directory
 
 #: Default rows per chunk.  Small enough that a 48-hour cell yields tens
@@ -34,13 +35,9 @@ DEFAULT_CHUNK_ROWS = 8192
 #: BigQuery tables the 2019 trace ships as.  The simulator emits usage
 #: rows grouped per instance (each group spanning the whole horizon), so
 #: *without* this sort every chunk's time range covers the full trace
-#: and time-window pushdown can never skip anything.
-DEFAULT_CLUSTER_BY: Dict[str, str] = {
-    "collection_events": "time",
-    "instance_events": "time",
-    "machine_events": "time",
-    "instance_usage": "start_time",
-}
+#: and time-window pushdown can never skip anything.  Derived from the
+#: canonical schema: every table with a time column clusters on it.
+DEFAULT_CLUSTER_BY: Dict[str, str] = dict(TIME_COLUMNS)
 
 
 def write_store(trace, directory: Union[str, os.PathLike],

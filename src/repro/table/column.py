@@ -19,7 +19,10 @@ import numpy as np
 
 from repro.util.errors import SchemaError
 
-_KINDS = ("float", "int", "bool", "str")
+#: The four storage kinds every column normalizes to (public: the store
+#: codec and the trace schema declare kinds against this set).
+KINDS = ("float", "int", "bool", "str")
+_KINDS = KINDS
 
 
 def _coerce(values: Any) -> np.ndarray:

@@ -7,7 +7,7 @@ tables; nothing mutates in place.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 

@@ -3,37 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from repro.table import Table
+from repro.trace.schema import TABLE_COLUMNS, empty_table
+from repro.util.timeutil import HOUR_SECONDS
 
 #: Schema of each 2019-style table (column name order is canonical).
-SCHEMA_2019: Dict[str, List[str]] = {
-    "collection_events": [
-        "time", "collection_id", "type", "collection_type", "priority",
-        "tier", "user", "scheduler", "parent_collection_id",
-        "alloc_collection_id", "vertical_scaling", "constraint",
-        "num_instances",
-    ],
-    "instance_events": [
-        "time", "collection_id", "instance_index", "type", "machine_id",
-        "priority", "tier", "resource_request_cpu", "resource_request_mem",
-        "is_new",
-    ],
-    "instance_usage": [
-        "start_time", "duration", "collection_id", "instance_index",
-        "machine_id", "tier", "vertical_scaling", "in_alloc",
-        "avg_cpu", "max_cpu", "avg_mem", "max_mem",
-        "limit_cpu", "limit_mem",
-    ],
-    "machine_events": [
-        "time", "machine_id", "type", "cpu_capacity", "mem_capacity",
-    ],
-    "machine_attributes": [
-        "machine_id", "cpu_capacity", "mem_capacity", "platform",
-        "utc_offset_hours",
-    ],
-}
+#: Kept as a name for compatibility; the declaration lives in
+#: :mod:`repro.trace.schema`.
+SCHEMA_2019 = TABLE_COLUMNS
 
 
 @dataclass
@@ -57,7 +36,7 @@ class TraceDataset:
     def __post_init__(self):
         for name, columns in SCHEMA_2019.items():
             if name not in self.tables:
-                self.tables[name] = Table({c: [] for c in columns})
+                self.tables[name] = empty_table(name)
             got = self.tables[name].column_names
             if got != columns:
                 raise ValueError(
@@ -86,7 +65,7 @@ class TraceDataset:
 
     @property
     def horizon_hours(self) -> float:
-        return self.horizon / 3600.0
+        return self.horizon / HOUR_SECONDS
 
     def __repr__(self) -> str:
         sizes = {name: len(t) for name, t in self.tables.items()}

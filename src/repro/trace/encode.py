@@ -1,4 +1,11 @@
-"""Encode a simulation result into trace tables."""
+"""Encode a simulation result into trace tables.
+
+Each builder maps schema columns to value arrays; :func:`_build` orders
+the mapping through :func:`repro.trace.schema.ordered_columns`, so a
+builder that drifts from the canonical schema (missing, extra, or
+reordered columns) fails loudly here instead of producing a malformed
+trace for some later reader to trip over.
+"""
 
 from __future__ import annotations
 
@@ -7,11 +14,20 @@ import numpy as np
 from repro.sim.cell import AUTOPILOT_FROM_CODE, CellResult, TIER_FROM_CODE
 from repro.table import Column, Table
 from repro.trace.dataset import TraceDataset
+from repro.trace.schema import empty_table, ordered_columns
+
+
+def _build(name: str, values: dict) -> Table:
+    """Schema-ordered :class:`Table` (typed empty when there are no rows)."""
+    table = Table(ordered_columns(name, values))
+    if len(table) == 0:
+        return empty_table(name)
+    return table
 
 
 def _collection_events_table(result: CellResult) -> Table:
     events = result.events.collection_events
-    return Table({
+    return _build("collection_events", {
         "time": [e.time for e in events],
         "collection_id": [e.collection_id for e in events],
         "type": [e.event.value for e in events],
@@ -30,7 +46,7 @@ def _collection_events_table(result: CellResult) -> Table:
 
 def _instance_events_table(result: CellResult) -> Table:
     events = result.events.instance_events
-    return Table({
+    return _build("instance_events", {
         "time": [e.time for e in events],
         "collection_id": [e.collection_id for e in events],
         "instance_index": [e.instance_index for e in events],
@@ -53,7 +69,7 @@ def _instance_usage_table(result: CellResult) -> Table:
     autopilot_strings = np.empty(n, dtype=object)
     for code, mode in AUTOPILOT_FROM_CODE.items():
         autopilot_strings[u["autopilot_code"] == code] = mode
-    return Table({
+    return _build("instance_usage", {
         "start_time": Column(u["window_start"]),
         "duration": Column(u["duration"]),
         "collection_id": Column(u["collection_id"].astype(np.int64)),
@@ -73,7 +89,7 @@ def _instance_usage_table(result: CellResult) -> Table:
 
 def _machine_events_table(result: CellResult) -> Table:
     events = result.events.machine_events
-    return Table({
+    return _build("machine_events", {
         "time": [e.time for e in events],
         "machine_id": [e.machine_id for e in events],
         "type": [e.event for e in events],
@@ -84,7 +100,7 @@ def _machine_events_table(result: CellResult) -> Table:
 
 def _machine_attributes_table(result: CellResult) -> Table:
     machines = result.machines
-    return Table({
+    return _build("machine_attributes", {
         "machine_id": [m.machine_id for m in machines],
         "cpu_capacity": [m.capacity.cpu for m in machines],
         "mem_capacity": [m.capacity.mem for m in machines],

@@ -13,7 +13,7 @@ by the recorded sampling rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Set
 
 import numpy as np
 

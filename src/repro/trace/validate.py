@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.sim.priority import tier_of_priority_2011, tier_of_priority_2019
 from repro.trace.dataset import TraceDataset
+from repro.trace.schema import EVENT_TABLES
 from repro.util.errors import ValidationError
 
 TERMINAL = ("EVICT", "FAIL", "FINISH", "KILL")
@@ -37,7 +38,7 @@ class Violation:
 def _check_times_in_window(trace: TraceDataset) -> List[Violation]:
     """Every event timestamp lies within [0, horizon]."""
     out = []
-    for name in ("collection_events", "instance_events", "machine_events"):
+    for name in EVENT_TABLES:
         times = trace.tables[name].column("time").values
         if len(times) == 0:
             continue

@@ -34,7 +34,7 @@ from repro.stats.distributions import (
 )
 from repro.util.rng import RngFactory
 from repro.util.timeutil import HOUR_SECONDS
-from repro.workload.params import EraParams, TierParams
+from repro.workload.params import EraParams
 
 #: Planned job durations are clamped to at least this (seconds).
 MIN_DURATION = 30.0

@@ -1,0 +1,86 @@
+"""CLI tests for ``borg-repro lint``: exit codes, formats, dogfooding."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", "x = 1\n")
+    assert main(["lint", path]) == 0
+    out = capsys.readouterr().out
+    assert "0 violations in 1 file(s) checked" in out
+
+
+def test_violations_exit_one_text(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", "window = 3600.0\n")
+    assert main(["lint", path]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:1:10: RPR005" in out
+    assert "1 violation in 1 file(s) checked" in out
+
+
+def test_violations_exit_one_json(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", "window = 3600.0\nd = 86400\n")
+    assert main(["lint", path, "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["violation_count"] == 2
+    assert document["exit_code"] == 1
+    assert document["rules"]["RPR005"]["violations"] == 2
+    assert {v["rule"] for v in document["violations"]} == {"RPR005"}
+    assert document["violations"][0]["path"] == path
+
+
+def test_syntax_error_exits_two(tmp_path, capsys):
+    path = write(tmp_path, "broken.py", "def nope(:\n")
+    assert main(["lint", path, "--format", "json"]) == 2
+    document = json.loads(capsys.readouterr().out)
+    assert document["exit_code"] == 2
+    assert document["violations"][0]["rule"] == "RPR000"
+
+
+def test_select_limits_rules(tmp_path, capsys):
+    source = "try:\n    pass\nexcept Exception:\n    pass\nx = 3600\n"
+    path = write(tmp_path, "mixed.py", source)
+    assert main(["lint", path, "--select", "rpr005"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR005" in out
+    assert "RPR004" not in out
+    assert main(["lint", path, "--select", "RPR004,RPR005"]) == 1
+    assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+
+def test_unknown_rule_exits_two(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", "x = 1\n")
+    assert main(["lint", path, "--select", "RPR042"]) == 2
+    assert "RPR042" in capsys.readouterr().err
+
+
+def test_statistics_flag(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", "a = 3600\nb = 86400\n")
+    assert main(["lint", path, "--statistics"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR005     2" in out
+
+
+def test_directory_lint_counts_files(tmp_path, capsys):
+    write(tmp_path, "a.py", "x = 1\n")
+    write(tmp_path, "b.py", "y = 2\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "2 file(s) checked" in capsys.readouterr().out
+
+
+def test_repo_src_is_lint_clean():
+    """Dogfood gate: the tree the CI lint job checks stays clean."""
+    violations = lint_paths([REPO_SRC])
+    assert violations == [], "\n".join(v.format() for v in violations)

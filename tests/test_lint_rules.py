@@ -1,0 +1,260 @@
+"""Per-rule fixtures for RPR002-RPR005: true positive, suppression, clean.
+
+Each rule's positive fixture is the bug class the rule exists to catch —
+code that parses, imports, and passes casual runtime tests, but violates
+a repo invariant (nondeterminism, pickle failure under workers>1,
+swallowed errors, silent unit assumptions).
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+SIM_PATH = "src/repro/sim/fixture.py"
+WORKLOAD_PATH = "src/repro/workload/fixture.py"
+ANALYSIS_PATH = "src/repro/analysis/fixture.py"
+
+
+def lint(source, path, rule_id):
+    return lint_source(textwrap.dedent(source), path, select=[rule_id])
+
+
+# -- RPR002: determinism ----------------------------------------------------
+
+def test_rpr002_flags_wall_clock_and_global_rng():
+    source = """\
+        import time
+        import numpy as np
+
+        def step(state):
+            np.random.seed(0)
+            state.started = time.time()
+            return np.random.rand()
+    """
+    violations = lint(source, SIM_PATH, "RPR002")
+    messages = [v.message for v in violations]
+    assert len(violations) == 3
+    assert any("numpy.random.seed" in m for m in messages)
+    assert any("time.time" in m for m in messages)
+    assert any("numpy.random.rand" in m for m in messages)
+
+
+def test_rpr002_flags_from_imports_and_random_module():
+    source = """\
+        import random
+        from time import monotonic
+
+        def jitter():
+            return monotonic() + random.random()
+    """
+    violations = lint(source, WORKLOAD_PATH, "RPR002")
+    assert len(violations) == 2
+    assert any("time.monotonic" in v.message for v in violations)
+    assert any("random.random" in v.message for v in violations)
+
+
+def test_rpr002_allows_injected_generator():
+    source = """\
+        import numpy as np
+
+        def step(rng: np.random.Generator, now: float):
+            return now + rng.exponential(1.0)
+    """
+    assert lint(source, SIM_PATH, "RPR002") == []
+
+
+def test_rpr002_scoped_to_sim_and_workload():
+    source = """\
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert lint(source, ANALYSIS_PATH, "RPR002") == []
+    assert len(lint(source, SIM_PATH, "RPR002")) == 1
+
+
+def test_rpr002_suppression():
+    source = """\
+        import time
+
+        def profile():
+            return time.time()  # repro: noqa[RPR002]
+    """
+    assert lint(source, SIM_PATH, "RPR002") == []
+
+
+# -- RPR003: fork safety ----------------------------------------------------
+
+def test_rpr003_flags_lambdas():
+    source = """\
+        def total_rows(scan):
+            return scan.map_reduce(lambda c: len(c), lambda a, b: a + b)
+    """
+    violations = lint(source, ANALYSIS_PATH, "RPR003")
+    assert len(violations) == 2
+    assert all("lambda" in v.message for v in violations)
+    assert all("map_reduce" in v.message for v in violations)
+
+
+def test_rpr003_flags_nested_functions():
+    source = """\
+        def total_rows(scan):
+            def count(chunk):
+                return len(chunk)
+            return scan.map_reduce(count, _add)
+    """
+    violations = lint(source, ANALYSIS_PATH, "RPR003")
+    assert len(violations) == 1
+    assert "closure" in violations[0].message
+    assert "'count'" in violations[0].message
+
+
+def test_rpr003_flags_bound_methods_and_keyword_args():
+    source = """\
+        class Runner:
+            def go(self, scan):
+                return scan.map_reduce(self.mapper, reduce_fn=self.reducer)
+    """
+    violations = lint(source, ANALYSIS_PATH, "RPR003")
+    assert len(violations) == 2
+    assert all("bound method" in v.message for v in violations)
+
+
+def test_rpr003_allows_module_level_functions_and_partial():
+    source = """\
+        from functools import partial
+
+        import numpy as np
+
+        def count(chunk):
+            return len(chunk)
+
+        def scaled(chunk, factor):
+            return len(chunk) * factor
+
+        def run(scan):
+            a = scan.map_reduce(count, np.add)
+            b = scan.map_reduce(partial(scaled, factor=2), count)
+            return a, b
+    """
+    assert lint(source, ANALYSIS_PATH, "RPR003") == []
+
+
+def test_rpr003_flags_lambda_inside_partial():
+    source = """\
+        from functools import partial
+
+        def run(scan):
+            return scan.map_reduce(partial(lambda c, k: len(c), k=1), _add)
+    """
+    violations = lint(source, ANALYSIS_PATH, "RPR003")
+    assert len(violations) == 1
+    assert "lambda" in violations[0].message
+
+
+def test_rpr003_suppression():
+    source = """\
+        def run(scan):  # serial-only path, never workers>1
+            return scan.map_reduce(lambda c: len(c), _add)  # repro: noqa[RPR003]
+    """
+    assert lint(source, ANALYSIS_PATH, "RPR003") == []
+
+
+# -- RPR004: exception hygiene ----------------------------------------------
+
+def test_rpr004_flags_swallowing_broad_handlers():
+    source = """\
+        def load(path):
+            try:
+                return parse(path)
+            except:
+                return None
+
+        def load2(path):
+            try:
+                return parse(path)
+            except Exception:
+                return None
+    """
+    violations = lint(source, ANALYSIS_PATH, "RPR004")
+    assert len(violations) == 2
+    assert "bare except" in violations[0].message
+    assert "except Exception" in violations[1].message
+
+
+def test_rpr004_flags_broad_member_of_tuple():
+    source = """\
+        def load(path):
+            try:
+                return parse(path)
+            except (ValueError, Exception):
+                return None
+    """
+    assert len(lint(source, ANALYSIS_PATH, "RPR004")) == 1
+
+
+def test_rpr004_allows_narrow_reraise_and_logging():
+    source = """\
+        import logging
+
+        def load(path):
+            try:
+                return parse(path)
+            except ValueError:
+                return None
+
+        def load2(path):
+            try:
+                return parse(path)
+            except Exception:
+                logging.exception("parse failed: %s", path)
+                return None
+
+        def load3(path):
+            try:
+                return parse(path)
+            except BaseException:
+                raise
+    """
+    assert lint(source, ANALYSIS_PATH, "RPR004") == []
+
+
+def test_rpr004_suppression():
+    source = """\
+        def probe(path):
+            try:
+                return parse(path)
+            except Exception:  # repro: noqa[RPR004]
+                return None
+    """
+    assert lint(source, ANALYSIS_PATH, "RPR004") == []
+
+
+# -- RPR005: unit discipline ------------------------------------------------
+
+def test_rpr005_flags_magnitude_literals():
+    source = """\
+        def hours(seconds):
+            return seconds / 3600.0
+
+        GIB = 1073741824
+    """
+    violations = lint(source, ANALYSIS_PATH, "RPR005")
+    assert len(violations) == 2
+    assert "3600.0" in violations[0].message
+    assert "HOUR_SECONDS" in violations[0].message
+    assert "1073741824" in violations[1].message
+
+
+def test_rpr005_allows_unit_modules_and_small_numbers():
+    magnitudes = "HOUR_SECONDS = 3600.0\nDAY_SECONDS = 86400.0\n"
+    assert lint_source(magnitudes, "src/repro/util/timeutil.py",
+                       select=["RPR005"]) == []
+    harmless = "x = 60\ny = 1024\nz = 0.25\nflag = True\n"
+    assert lint(harmless, ANALYSIS_PATH, "RPR005") == []
+
+
+def test_rpr005_suppression():
+    source = "window = 86400  # repro: noqa[RPR005] matches figure 7 caption\n"
+    assert lint(source, ANALYSIS_PATH, "RPR005") == []
