@@ -3,55 +3,35 @@
 The benchmark suite regenerates every paper table/figure, so it needs
 the 2011 cell plus all eight 2019 cells.  Building them dominates the
 wall clock (a couple of minutes); everything is cached at session scope
-and the individual benchmarks time the *analysis* computations.
+and the individual benchmarks time the *analysis* computations.  The
+simulate-and-encode setup itself lives in :mod:`tests.trace_fixtures`,
+shared with ``tests/conftest.py`` and parametrized on cell size.
 
-Environment knobs:
+Environment knobs (see :func:`tests.trace_fixtures.bench_scale`):
   REPRO_BENCH_MACHINES  machines per cell       (default 100)
   REPRO_BENCH_HOURS     trace horizon in hours  (default 48)
   REPRO_BENCH_SCALE     arrival-rate scale      (default 0.02)
   REPRO_BENCH_CELLS     2019 cells to simulate  (default all eight)
+  REPRO_BENCH_SEED      simulation seed         (default 0)
 """
 
 from __future__ import annotations
 
-import os
-import time
-
 import pytest
 
-from repro.trace import encode_cell
-from repro.workload import scenario_2011, scenarios_2019
+from tests.trace_fixtures import bench_scale, build_trace, build_traces_2019
 
-MACHINES = int(os.environ.get("REPRO_BENCH_MACHINES", "100"))
-HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "48"))
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
-CELLS = [c for c in os.environ.get("REPRO_BENCH_CELLS",
-                                   "a,b,c,d,e,f,g,h").split(",") if c]
-SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_SCALE = bench_scale()
 
 
 @pytest.fixture(scope="session")
 def bench_trace_2011():
-    t0 = time.time()
-    trace = encode_cell(scenario_2011(
-        seed=SEED, machines_per_cell=MACHINES, horizon_hours=HOURS,
-        arrival_scale=SCALE,
-    ).run())
-    print(f"\n[bench setup] 2011 cell simulated in {time.time() - t0:.0f}s")
-    return trace
+    return build_trace("2011", BENCH_SCALE, verbose=True)
 
 
 @pytest.fixture(scope="session")
 def bench_traces_2019():
-    traces = []
-    for scenario in scenarios_2019(seed=SEED, machines_per_cell=MACHINES,
-                                   horizon_hours=HOURS, arrival_scale=SCALE,
-                                   cells=CELLS):
-        t0 = time.time()
-        traces.append(encode_cell(scenario.run()))
-        print(f"\n[bench setup] 2019 cell {scenario.name} simulated "
-              f"in {time.time() - t0:.0f}s")
-    return traces
+    return build_traces_2019(BENCH_SCALE, verbose=True)
 
 
 @pytest.fixture(scope="session")

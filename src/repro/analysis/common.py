@@ -15,6 +15,7 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.table import Table
 from repro.trace.dataset import TraceDataset
 from repro.util.timeutil import HOUR_SECONDS
@@ -49,6 +50,7 @@ def group_reduce(keys: np.ndarray, values: np.ndarray,
     return sorted_keys[starts], reducer(values[order], starts)
 
 
+@obs.traced("analysis.job_usage_integrals")
 def job_usage_integrals(trace: TraceDataset,
                         include_alloc_sets: bool = False) -> Table:
     """Per-collection resource-hour integrals (the section 7 quantity).
@@ -93,6 +95,7 @@ def job_usage_integrals(trace: TraceDataset,
     })
 
 
+@obs.traced("analysis.hourly_tier_series")
 def hourly_tier_series(trace: TraceDataset, resource: str = "cpu",
                        quantity: str = "usage") -> Dict[str, np.ndarray]:
     """Per-tier hourly series as fractions of cell capacity (figures 2/4).
@@ -212,6 +215,7 @@ def _usage_integral_partial(table: Table) -> Tuple[np.ndarray, ...]:
     )
 
 
+@obs.traced("analysis.job_usage_integrals_store")
 def job_usage_integrals_store(store, include_alloc_sets: bool = False,
                               workers: Optional[int] = None) -> Table:
     """Store-backed :func:`job_usage_integrals` (identical output)."""
@@ -278,6 +282,7 @@ def _merge_tier_series(a: Dict[str, np.ndarray],
     return out
 
 
+@obs.traced("analysis.hourly_tier_series_store")
 def hourly_tier_series_store(store, resource: str = "cpu",
                              quantity: str = "usage",
                              workers: Optional[int] = None) -> Dict[str, np.ndarray]:

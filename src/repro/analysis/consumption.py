@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 
+from repro import obs
 from repro.analysis.common import job_usage_integrals
 from repro.stats.ccdf import Ccdf, empirical_ccdf
 from repro.stats.moments import DistributionSummary, summarize
@@ -73,6 +74,7 @@ def consumption_report(traces: Sequence[TraceDataset], resource: str = "cpu",
     )
 
 
+@obs.traced("analysis.fig12.usage_ccdf")
 def usage_ccdf(traces: Sequence[TraceDataset], resource: str = "cpu") -> Ccdf:
     """Figure 12: CCDF of per-job resource-hours (plot on log-log axes)."""
     table = pooled_job_integrals(traces)

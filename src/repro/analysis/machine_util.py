@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.stats.ccdf import Ccdf, empirical_ccdf
 from repro.trace.dataset import TraceDataset
 from repro.util.timeutil import DAY_SECONDS, HOUR_SECONDS
@@ -64,6 +65,7 @@ def machine_utilization_at(trace: TraceDataset, window_start: float,
     return out
 
 
+@obs.traced("analysis.fig6.machine_utilization_ccdf")
 def machine_utilization_ccdf(trace: TraceDataset, resource: str = "cpu",
                              day: int = 15, local_hour: float = 13.0,
                              window_start: Optional[float] = None) -> Ccdf:

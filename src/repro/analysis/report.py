@@ -12,6 +12,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis import (
     allocation,
     allocsets,
@@ -286,6 +287,7 @@ def render_extras(out: io.StringIO, traces_2011, traces_2019) -> None:
         out.write(f"    cell {cell:>4s}: load={load:.3f} (local {local:4.1f}h)\n")
 
 
+@obs.traced("analysis.full_report")
 def full_report(traces_2011: Sequence[TraceDataset],
                 traces_2019: Sequence[TraceDataset]) -> str:
     """Every figure and table of the paper, as one text document."""

@@ -14,6 +14,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.stats.ccdf import Ccdf, empirical_ccdf
 from repro.trace.dataset import TraceDataset
 from repro.util.timeutil import HOUR_SECONDS
@@ -42,6 +43,7 @@ def job_submission_counts(trace: TraceDataset) -> np.ndarray:
     return _hourly_counts(ce.column("time").values[mask], trace.horizon)
 
 
+@obs.traced("analysis.fig8.job_submission_ccdf")
 def job_submission_ccdf(trace: TraceDataset) -> Ccdf:
     """Figure 8: CCDF of the per-hour job submission rate for one cell."""
     return empirical_ccdf(job_submission_counts(trace))

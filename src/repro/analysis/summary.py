@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Union
 
+from repro import obs
 from repro.analysis.machines import fleet_summary
 from repro.trace.dataset import TraceDataset
 from repro.util.timeutil import DAY_SECONDS
@@ -68,6 +69,7 @@ def era_summary(traces: Sequence[TraceDataset]) -> Dict[str, Value]:
     }
 
 
+@obs.traced("analysis.table1")
 def table1(traces_2011: Sequence[TraceDataset],
            traces_2019: Sequence[TraceDataset]) -> List[Dict[str, Value]]:
     """Both Table 1 columns."""

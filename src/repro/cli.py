@@ -18,6 +18,9 @@ convert
 query
     Run a projection + predicate + aggregate against a store straight
     from the command line, optionally over multiple worker processes.
+stats
+    Render a ``repro.obs`` run report (written with ``--obs-out`` on
+    ``simulate`` or ``query``) as text or JSON.
 lint
     Run the repo's AST-based static-analysis pass (schema consistency,
     determinism, fork safety, exception hygiene, unit discipline) over
@@ -27,11 +30,13 @@ lint
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis.report import full_report
 from repro.lint import iter_python_files, lint_file
 from repro.lint import render as render_lint
@@ -49,6 +54,20 @@ from repro.store.writer import DEFAULT_CHUNK_ROWS
 from repro.trace import encode_cell, load_trace, save_trace, validate_trace
 from repro.trace.io import detect_format
 from repro.workload import scenario_2011, scenarios_2019
+
+
+def _add_obs_out_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--obs-out", default=None, metavar="REPORT.json",
+                        help="write the repro.obs run report (metrics + "
+                             "span trees) here; render it later with "
+                             "'borg-repro stats'")
+
+
+def _write_obs_report(args, command: str, meta: dict) -> None:
+    if not args.obs_out:
+        return
+    obs.write_report(args.obs_out, command=command, meta=meta)
+    print(f"obs report written to {args.obs_out}", file=sys.stderr)
 
 
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
@@ -90,6 +109,10 @@ def _simulate(args) -> int:
               f"saved ({args.format}) in {t_save:.1f}s -> {out / name}")
         print(f"cell {name}: rows written: total={sum(rows.values())} "
               + " ".join(f"{tname}={n}" for tname, n in rows.items()))
+    _write_obs_report(args, "simulate",
+                      {"cells": ",".join(cells), "machines": args.machines,
+                       "hours": args.hours, "scale": args.scale,
+                       "seed": args.seed, "format": args.format})
     return 0
 
 
@@ -216,6 +239,23 @@ def _query(args) -> int:
         print(table.to_string(max_rows=args.limit))
     print(f"scan: {scan.last_stats}", file=sys.stderr)
     print(f"cache: {store.cache.stats}", file=sys.stderr)
+    _write_obs_report(args, "query",
+                      {"store": str(args.store_dir), "table": args.table,
+                       "workers": args.workers})
+    return 0
+
+
+def _stats(args) -> int:
+    try:
+        report = obs.load_report(args.report)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(obs.render_report(report))
     return 0
 
 
@@ -250,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--format", choices=("csv", "store"), default="csv",
                        help="trace format to write (default csv)")
     _add_scale_args(p_sim)
+    _add_obs_out_arg(p_sim)
     p_sim.set_defaults(func=_simulate)
 
     p_val = sub.add_parser("validate", help="check trace invariants")
@@ -293,10 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: serial)")
     p_query.add_argument("--limit", type=int, default=10,
                          help="max rows to print without --agg (default 10)")
+    _add_obs_out_arg(p_query)
     p_query.set_defaults(func=_query)
 
+    p_stats = sub.add_parser(
+        "stats", help="render a repro.obs run report (see --obs-out)")
+    p_stats.add_argument("report", help="report JSON written with --obs-out")
+    p_stats.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format (default text)")
+    p_stats.set_defaults(func=_stats)
+
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis rules (RPR001-RPR005)")
+        "lint", help="run the repo's static-analysis rules (RPR001-RPR006)")
     p_lint.add_argument("paths", nargs="+",
                         help="files or directories to lint (e.g. src/)")
     p_lint.add_argument("--format", choices=("text", "json"), default="text",

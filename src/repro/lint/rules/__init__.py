@@ -11,6 +11,9 @@ RPR003  fork safety — map/reduce callables handed to the store executor
 RPR004  exception hygiene — broad excepts must re-raise, log, or narrow.
 RPR005  unit discipline — resource/time magnitudes go through the named
         constants in repro.util, never raw literals.
+RPR006  obs discipline — span names handed to repro.obs.span/traced must
+        be literal strings, so the span-tree structure stays a pure
+        function of control flow.
 
 Adding a rule: create a module here defining a :class:`repro.lint.Rule`
 subclass with the next free ``RPR`` id, decorate it with
@@ -22,6 +25,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     exception_hygiene,
     fork_safety,
+    obs_discipline,
     schema_consistency,
     unit_discipline,
 )

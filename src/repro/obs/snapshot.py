@@ -1,0 +1,66 @@
+"""Plain-data snapshots of a registry: the fork-safe exchange format.
+
+A :class:`Snapshot` is what crosses process boundaries: every field is
+built-in-type data (dicts, lists, ints, floats, strings), so it pickles
+cheaply and deterministically.  The store executor wraps each chunk task
+in a fresh scoped registry and ships the resulting snapshot back with
+the payload; the parent merges each snapshot exactly once, in task
+order, which is what makes parallel and serial runs agree on every
+counter (see the fork-safety test and DESIGN.md §9).
+
+Merge semantics, per metric kind:
+
+* counters — add (exactly-once merging is the caller's job)
+* gauges — last-writer-wins in merge order (merge order is
+  deterministic: task order, not completion order)
+* timers — histogram merge (fixed buckets add; min/max/count/sum exact)
+* spans — recursive merge by (parent path, name); child roots graft
+  under the parent registry's *currently open* span
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.obs.spans import SpanNode, SpanStructure
+
+
+@dataclass
+class Snapshot:
+    """One registry's state as plain data (picklable, JSONable)."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    #: name -> TimingHistogram.to_dict() form.
+    timers: Dict[str, dict] = field(default_factory=dict)
+    #: SpanNode.to_dict() of the root node.
+    spans: dict = field(default_factory=lambda: SpanNode("root").to_dict())
+
+    def span_root(self) -> SpanNode:
+        return SpanNode.from_dict(self.spans)
+
+    def span_structure(self) -> SpanStructure:
+        """Names, nesting, counts, order — no durations.
+
+        Two runs of the same deterministic program must produce equal
+        structures; this is the object the determinism sweep compares.
+        """
+        return self.span_root().structure()
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {name: dict(data) for name, data in self.timers.items()},
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Snapshot":
+        return cls(
+            counters={str(k): int(v) for k, v in data.get("counters", {}).items()},
+            gauges={str(k): float(v) for k, v in data.get("gauges", {}).items()},
+            timers=dict(data.get("timers", {})),
+            spans=data.get("spans", SpanNode("root").to_dict()),
+        )

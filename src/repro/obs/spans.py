@@ -1,0 +1,141 @@
+"""Span tracing: nested wall-time accounting with deterministic structure.
+
+A *span* is a named region of work entered with ``with obs.span("x"):``.
+Spans nest: entering a span while another is active makes it a child.
+Rather than recording one node per entry (which would make trace size
+proportional to event count), spans *aggregate* by position: all entries
+of the same name under the same parent share one :class:`SpanNode`,
+whose ``count`` and ``total`` accumulate.  The resulting tree's
+**structure** — names, nesting, counts, sibling order (first-entry
+order) — is a pure function of the program's control flow, so two runs
+of a deterministic simulation produce identical structures even though
+the recorded durations differ.  That is the contract the determinism
+sweep test (and DESIGN.md §9) pins down.
+
+Span names must be literal strings at the call site (lint rule RPR006):
+a dynamic name would make the structure depend on data values and break
+both the determinism contract and grep-ability.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Structure form: (name, count, (child structures...)).
+SpanStructure = Tuple[str, int, tuple]
+
+
+class SpanNode:
+    """One aggregated span: entry count, total seconds, ordered children."""
+
+    __slots__ = ("name", "count", "total", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        #: name -> child node, in first-entry order (dicts preserve it).
+        self.children: Dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanNode":
+        node = cls(str(data["name"]))
+        node.count = int(data["count"])
+        node.total = float(data["total_s"])
+        for child in data.get("children", []):
+            node.children[str(child["name"])] = cls.from_dict(child)
+        return node
+
+    def structure(self) -> SpanStructure:
+        """Durations stripped: (name, count, child structures)."""
+        return (self.name, self.count,
+                tuple(c.structure() for c in self.children.values()))
+
+    def merge(self, other: "SpanNode") -> None:
+        """Fold ``other`` (same name) into this node, recursively by name."""
+        self.count += other.count
+        self.total += other.total
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
+    def __repr__(self) -> str:
+        return (f"SpanNode({self.name!r}, count={self.count}, "
+                f"total={self.total:.3f}s, children={list(self.children)})")
+
+
+class SpanTree:
+    """The live tree plus the currently-open span (a stack by parent links)."""
+
+    def __init__(self) -> None:
+        self.root = SpanNode("root")
+        self._stack: List[SpanNode] = [self.root]
+
+    @property
+    def current(self) -> SpanNode:
+        return self._stack[-1]
+
+    def enter(self, name: str) -> SpanNode:
+        node = self.current.child(name)
+        self._stack.append(node)
+        return node
+
+    def exit(self, node: SpanNode, elapsed: float) -> None:
+        if self._stack[-1] is not node:
+            # Mis-nesting (an exit skipped by a non-context-manager use);
+            # unwind to the matching node so the tree stays consistent.
+            while len(self._stack) > 1 and self._stack[-1] is not node:
+                self._stack.pop()
+        if len(self._stack) > 1:
+            self._stack.pop()
+        node.count += 1
+        node.total += elapsed
+
+
+class Span:
+    """The ``with obs.span("name")`` context manager.
+
+    The registry is resolved at ``__enter__`` time, so a ``Span`` built
+    before a :func:`repro.obs.scoped_registry` swap still records into
+    whichever registry is current when the block actually runs.
+    """
+
+    __slots__ = ("name", "_registry", "_node", "_t0")
+
+    def __init__(self, name: str, registry=None):
+        self.name = name
+        self._registry = registry
+        self._node: Optional[SpanNode] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._registry is None:
+            from repro.obs.registry import get_registry
+            self._registry = get_registry()
+        self._node = self._registry.spans.enter(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self._registry.spans.exit(self._node, elapsed)
+        self._registry.timer(self.name).observe(elapsed)
+        self._registry = None
+        self._node = None

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.sim.autopilot import AutopilotMode, AutopilotParams, limit_trajectory
 from repro.sim.batch import BatchParams, BatchQueue
 from repro.sim.dependencies import DependencyManager
@@ -260,7 +261,12 @@ class CellSim:
 
     def run(self) -> CellResult:
         """Execute the cell simulation and return its result."""
-        self._seed_events()
+        with obs.span("sim.run"):
+            return self._run()
+
+    def _run(self) -> CellResult:
+        with obs.span("sim.seed_events"):
+            self._seed_events()
         horizon = self.config.horizon
         handlers = {
             "submit": self._on_submit,
@@ -274,14 +280,27 @@ class CellSim:
             "machine_up": self._on_machine_up,
             "collection_timeout": self._on_collection_timeout,
         }
-        while self._heap:
-            time, _, kind, payload = heapq.heappop(self._heap)
-            if time >= horizon:
-                break
-            handlers[kind](time, payload)
-        self._finalize(horizon)
-        usage = self._usage.finalize()
-        _reconcile_machine_usage(usage, self.machines, self.config.sample_period)
+        # Counter handles are bound once so the hot loop pays one integer
+        # add per event, not a registry lookup (instrumentation overhead
+        # is budgeted at <= 5% of simulator throughput).
+        events_processed = obs.counter("sim.events_processed")
+        kind_counters = {kind: obs.counter("sim.events." + kind)
+                         for kind in handlers}
+        with obs.span("sim.event_loop"):
+            while self._heap:
+                time, _, kind, payload = heapq.heappop(self._heap)
+                if time >= horizon:
+                    break
+                events_processed.inc()
+                kind_counters[kind].inc()
+                handlers[kind](time, payload)
+        with obs.span("sim.finalize"):
+            self._finalize(horizon)
+            usage = self._usage.finalize()
+        with obs.span("sim.reconcile_usage"):
+            _reconcile_machine_usage(usage, self.machines,
+                                     self.config.sample_period)
+        self._export_obs_counters(usage)
         return CellResult(
             config=self.config,
             machines=self.machines,
@@ -290,6 +309,15 @@ class CellSim:
             usage=usage,
             counters=self.counters,
         )
+
+    def _export_obs_counters(self, usage: Dict[str, np.ndarray]) -> None:
+        """Publish the run's integrity counters into the obs registry."""
+        registry = obs.get_registry()
+        for name, value in vars(self.counters).items():
+            registry.inc("sim." + name, value)
+        registry.inc("sim.usage_rows", len(usage["window_start"]))
+        registry.gauge("sim.machines", len(self.machines))
+        registry.gauge("sim.collections", len(self._collections))
 
     # -------------------------------------------------------------- handlers
 
@@ -362,14 +390,26 @@ class CellSim:
             self._push(next_round, "round", None)
 
     def _on_round(self, t: float, _payload) -> None:
+        with obs.span("sim.round"):
+            self._round(t)
+
+    def _round(self, t: float) -> None:
         self._round_scheduled = False
-        self._pending.remove_dead()
-        if self._parked and t >= self._parked_retry_at:
-            self._parked_retry_at = t + self._parked_retry_interval
-            self._parked.remove_dead()
-            for instance in self._parked.pop_batch(len(self._parked)):
-                self._pending.push(instance)
-        batch = self._pending.pop_batch(self.config.scheduler.round_capacity)
+        with obs.span("sim.round.admit"):
+            self._pending.remove_dead()
+            if self._parked and t >= self._parked_retry_at:
+                self._parked_retry_at = t + self._parked_retry_interval
+                self._parked.remove_dead()
+                for instance in self._parked.pop_batch(len(self._parked)):
+                    self._pending.push(instance)
+            obs.gauge("sim.queue.pending_depth", len(self._pending))
+            obs.gauge("sim.queue.parked_depth", len(self._parked))
+            obs.observe("sim.queue.pending_depth_dist", len(self._pending))
+            batch = self._pending.pop_batch(self.config.scheduler.round_capacity)
+        with obs.span("sim.round.place"):
+            self._place_batch(t, batch)
+
+    def _place_batch(self, t: float, batch: List[Instance]) -> None:
         deferred: List[Instance] = []
         # Failure-dominance pruning: within one round resources only
         # shrink, so a request at least as large (on both dimensions) as

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.sim.entities import Instance
 from repro.sim.machine import Machine
 from repro.sim.resources import Resources
@@ -71,6 +72,7 @@ class PlacementPolicy:
         ``constraint``, when non-empty, restricts placement to machines of
         that platform (a machine-attribute constraint).
         """
+        obs.inc("sim.placement.attempts")
         n = len(machines)
         if n == 0:
             return None
@@ -89,6 +91,7 @@ class PlacementPolicy:
             if best is not None:
                 return best
         # Sampled set failed: full scan so feasibility is never missed.
+        obs.inc("sim.placement.full_scans")
         for m in machines:
             if self._admissible(m, request, constraint):
                 score = self._score(m, request)
@@ -106,6 +109,7 @@ class PlacementPolicy:
         instances with tier rank strictly below ``rank`` are eligible —
         production never evicts production (section 2).
         """
+        obs.inc("sim.placement.preemption_searches")
         n = len(machines)
         if n == 0:
             return None

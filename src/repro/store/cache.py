@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from repro import obs
 from repro.table.table import Table
 
 
@@ -50,9 +51,11 @@ class ChunkCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            obs.inc("store.cache.misses")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        obs.inc("store.cache.hits")
         return entry
 
     def put(self, key: Hashable, table: Table) -> None:
@@ -64,6 +67,7 @@ class ChunkCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            obs.inc("store.cache.evictions")
 
     def clear(self) -> None:
         self._entries.clear()

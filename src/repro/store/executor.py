@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.stats.histogram import histogram
 from repro.store.format import read_chunk
 from repro.store.predicates import Predicate
@@ -150,8 +151,26 @@ def process_table(table: Table, predicate: Optional[Predicate],
 def run_chunk_task(task: ChunkTask) -> Tuple[object, int, int]:
     """Decode, filter, and reduce one chunk (the worker-process entry)."""
     path, decode_columns, predicate, keep_columns, reducer = task
-    return process_table(read_chunk(path, decode_columns), predicate,
-                         keep_columns, reducer)
+    with obs.span("store.chunk"):
+        return process_table(read_chunk(path, decode_columns), predicate,
+                             keep_columns, reducer)
+
+
+def traced_chunk_task(task: ChunkTask) -> Tuple[Tuple[object, int, int],
+                                                obs.Snapshot]:
+    """Worker-side wrapper: run one chunk task inside a *fresh* scoped
+    registry and ship its metrics home alongside the payload.
+
+    Under ``fork`` start methods the worker begins with a copy of the
+    parent's registry; recording into that copy and snapshotting it
+    wholesale would re-count everything the parent had already recorded.
+    The fresh scoped registry makes the returned snapshot exactly the
+    delta of this one task, so the parent can merge each snapshot once —
+    no double counts, no drops (see the fork-safety test).
+    """
+    with obs.scoped_registry() as registry:
+        result = run_chunk_task(task)
+    return result, registry.snapshot()
 
 
 def run_tasks(tasks: Sequence[ChunkTask],
@@ -160,7 +179,9 @@ def run_tasks(tasks: Sequence[ChunkTask],
 
     ``workers=None`` or ``<= 1`` runs inline; otherwise a pool of
     ``min(workers, len(tasks))`` processes maps over the tasks.  Results
-    always come back in task order.
+    always come back in task order.  Worker-side obs metrics are merged
+    into this process's registry in task order (exactly once per task),
+    so counters agree between serial and parallel runs.
     """
     if not tasks:
         return []
@@ -168,8 +189,14 @@ def run_tasks(tasks: Sequence[ChunkTask],
         return [run_chunk_task(task) for task in tasks]
     n = min(workers, len(tasks))
     chunksize = max(1, len(tasks) // (n * 4))
+    obs.gauge("store.pool_workers", n)
+    obs.inc("store.parallel_batches")
     with multiprocessing.Pool(processes=n) as pool:
-        return pool.map(run_chunk_task, tasks, chunksize=chunksize)
+        traced = pool.map(traced_chunk_task, tasks, chunksize=chunksize)
+    registry = obs.get_registry()
+    for _, snapshot in traced:
+        registry.merge_snapshot(snapshot)
+    return [result for result, _ in traced]
 
 
 def default_workers() -> int:

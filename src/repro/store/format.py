@@ -34,6 +34,7 @@ from typing import BinaryIO, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.table.column import KINDS, Column
 from repro.table.table import Table
 from repro.util.errors import SchemaError
@@ -139,11 +140,16 @@ def _read_chunk(f: BinaryIO, columns: Optional[Sequence[str]]) -> Table:
             )
     # Single pass: seek past unwanted payloads, read wanted ones.
     decoded = {}
+    bytes_read = 0
     wanted_set = set(wanted)
     for meta in header["columns"]:
         if meta["name"] in wanted_set:
             payload = f.read(meta["nbytes"])
+            bytes_read += len(payload)
             decoded[meta["name"]] = _decode_column(meta["kind"], rows, payload)
         else:
             f.seek(meta["nbytes"], io.SEEK_CUR)
+    registry = obs.get_registry()
+    registry.inc("store.chunks_read")
+    registry.inc("store.bytes_read", bytes_read)
     return Table({name: decoded[name] for name in wanted})

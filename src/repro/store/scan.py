@@ -15,6 +15,7 @@ import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.store.executor import (
     Agg,
     ChunkTask,
@@ -113,6 +114,11 @@ class Scan:
 
     def _execute(self, aggs_or_fn, keep_columns: Tuple[str, ...],
                  workers: Optional[int]) -> List[Tuple[object, int, int]]:
+        with obs.span("store.scan"):
+            return self._execute_inner(aggs_or_fn, keep_columns, workers)
+
+    def _execute_inner(self, aggs_or_fn, keep_columns: Tuple[str, ...],
+                       workers: Optional[int]) -> List[Tuple[object, int, int]]:
         chunks = self._store.manifest.chunks(self._table)
         survivors = self.surviving_chunks()
         stats = ScanStats(chunks_total=len(chunks),
@@ -128,14 +134,23 @@ class Scan:
         else:
             results = []
             for c in survivors:
-                table = self._store.load_chunk(self._table, c["file"], decode)
-                results.append(process_table(table, self._predicate,
-                                             keep_columns, aggs_or_fn))
+                with obs.span("store.chunk"):
+                    table = self._store.load_chunk(self._table, c["file"],
+                                                   decode)
+                    results.append(process_table(table, self._predicate,
+                                                 keep_columns, aggs_or_fn))
         for _, rows_decoded, rows_matched in results:
             stats.chunks_decoded += 1
             stats.rows_decoded += rows_decoded
             stats.rows_matched += rows_matched
         self.last_stats = stats
+        registry = obs.get_registry()
+        registry.inc("store.scans")
+        registry.inc("store.chunks_total", stats.chunks_total)
+        registry.inc("store.chunks_skipped", stats.chunks_skipped)
+        registry.inc("store.chunks_decoded", stats.chunks_decoded)
+        registry.inc("store.rows_decoded", stats.rows_decoded)
+        registry.inc("store.rows_matched", stats.rows_matched)
         return results
 
     def to_table(self, workers: Optional[int] = None) -> Table:
@@ -157,6 +172,7 @@ class Scan:
             chunks = self._store.manifest.chunks(self._table)
             self.last_stats = ScanStats(chunks_total=len(chunks))
             rows = self._store.manifest.rows(self._table)
+            obs.inc("store.scans_manifest_only")
             return {a.alias: rows for a in aggs}
         results = self._execute(tuple(aggs), (), workers)
         return merge_partials([payload for payload, _, _ in results], aggs)

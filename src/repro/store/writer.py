@@ -19,6 +19,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.store.format import CHUNK_SUFFIX, write_chunk
 from repro.store.manifest import Manifest, chunk_stats
 from repro.table.table import Table
@@ -62,7 +63,7 @@ def write_store(trace, directory: Union[str, os.PathLike],
         "capacity_mem": trace.capacity_mem,
     }
     cluster_by = cluster_by or {}
-    with atomic_directory(directory) as tmp:
+    with obs.span("store.write"), atomic_directory(directory) as tmp:
         manifest = Manifest.new(meta, chunk_rows)
         for name, table in trace.tables.items():
             key = cluster_by.get(name)
@@ -87,5 +88,9 @@ def _write_table(manifest: Manifest, root: Path, name: str, table: Table,
         hi = min(lo + chunk_rows, len(table))
         chunk = table.take(np.arange(lo, hi))
         file = f"{name}/chunk-{i:05d}{CHUNK_SUFFIX}"
-        write_chunk(chunk, root / file)
+        nbytes = write_chunk(chunk, root / file)
+        registry = obs.get_registry()
+        registry.inc("store.chunks_written")
+        registry.inc("store.bytes_written", nbytes)
+        registry.inc("store.rows_written", len(chunk))
         manifest.add_chunk(name, file, len(chunk), chunk_stats(chunk))

@@ -1,7 +1,9 @@
 """Shared fixtures: session-scoped small simulations and traces.
 
 Simulations are the expensive part of the suite, so each scenario is run
-once per session and shared by every test that only reads from it.
+once per session and shared by every test that only reads from it.  The
+actual simulate-and-encode setup lives in :mod:`tests.trace_fixtures`,
+shared with ``benchmarks/conftest.py`` and parametrized on cell size.
 """
 
 from __future__ import annotations
@@ -9,19 +11,19 @@ from __future__ import annotations
 import pytest
 
 from repro.trace import encode_cell
-from repro.workload import small_test_scenario
+from tests.trace_fixtures import TEST_SCALE, build_result
 
 
 @pytest.fixture(scope="session")
 def result_2019():
     """One small 2019-era cell simulation result."""
-    return small_test_scenario(seed=11, era="2019").run()
+    return build_result("2019", TEST_SCALE)
 
 
 @pytest.fixture(scope="session")
 def result_2011():
     """One small 2011-era cell simulation result."""
-    return small_test_scenario(seed=11, era="2011").run()
+    return build_result("2011", TEST_SCALE)
 
 
 @pytest.fixture(scope="session")

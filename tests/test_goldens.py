@@ -1,0 +1,136 @@
+"""Golden-figure regression tests: exact numeric snapshots of figures.
+
+Each test recomputes one paper figure/table from the session-scoped
+seed-11 traces and compares the result — bit-for-bit, after a JSON
+round-trip — against a checked-in golden under ``tests/goldens/``.  The
+simulator and every reducer are deterministic, so any diff is a real
+behavior change: either a bug, or an intentional change that must be
+reviewed alongside a regenerated golden.
+
+Regenerate after an intentional change with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens.py
+
+and commit the rewritten JSON files with the change that caused them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import consumption, machine_util, submission, summary
+from repro.analysis.common import job_usage_integrals
+from repro.queueing import compare_isolation, pollaczek_khinchine
+from repro.stats import squared_cv, top_share
+from repro.table import concat
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: CCDF evaluation grids (mirror the benchmark suite's print grids).
+UTIL_GRID = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+USAGE_GRID = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays so json.dumps round-trips."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _check_golden(name: str, computed) -> None:
+    """Exact-match ``computed`` against ``tests/goldens/<name>.json``."""
+    computed = json.loads(json.dumps(_jsonable(computed)))
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(computed, f, indent=2, sort_keys=True)
+            f.write("\n")
+    golden = json.loads(path.read_text())
+    assert computed == golden, (
+        f"{name} drifted from its golden snapshot ({path}). If this "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDENS=1 "
+        "and commit the updated golden with the code change.")
+
+
+def test_golden_fig6_machine_utilization(trace_2011, trace_2019):
+    computed = {
+        f"{trace.era}.{resource}": [
+            machine_util.machine_utilization_ccdf(trace, resource).at(x)
+            for x in UTIL_GRID]
+        for trace in (trace_2011, trace_2019)
+        for resource in ("cpu", "mem")
+    }
+    _check_golden("fig6_machine_utilization", computed)
+
+
+def test_golden_fig8_job_submission(trace_2011, traces_2019):
+    ccdfs = {
+        "2011": submission.job_submission_ccdf(trace_2011),
+        "2019-aggregate": submission.aggregate_job_submission_ccdf(
+            traces_2019),
+        **{f"2019-{t.cell}": submission.job_submission_ccdf(t)
+           for t in traces_2019},
+    }
+    computed = {
+        name: {"median": ccdf.quantile_of_exceedance(0.5),
+               "p90": ccdf.quantile_of_exceedance(0.1)}
+        for name, ccdf in ccdfs.items()
+    }
+    computed["growth"] = submission.growth_factors(trace_2011, traces_2019)
+    _check_golden("fig8_job_submission", computed)
+
+
+def test_golden_table1_summary(traces_2011, traces_2019):
+    col_2011, col_2019 = summary.table1(traces_2011, traces_2019)
+    _check_golden("table1_summary", {"2011": col_2011, "2019": col_2019})
+
+
+def test_golden_sec73_queueing(traces_2019):
+    table = concat([job_usage_integrals(t) for t in traces_2019])
+    sizes = table.column("ncu_hours").values
+    sizes = sizes[sizes > 0]
+    cv2 = squared_cv(sizes)
+    report = compare_isolation(sizes, rho=0.5, hog_fraction=0.01)
+    computed = {
+        "jobs": len(sizes),
+        "total_ncu_hours": float(sizes.sum()),
+        "cv2": cv2,
+        "top1_load_share": top_share(sizes, 0.01),
+        "pk_delay_rho05": pollaczek_khinchine(0.5, cv2),
+        "isolation": {
+            "hog_load_share": report.hog_load_share,
+            "shared_cv2": report.shared_cv2,
+            "mice_cv2": report.mice_cv2,
+            "shared_delay": report.shared_delay,
+            "mice_only_delay": report.mice_only_delay,
+            "speedup": report.speedup,
+        },
+    }
+    _check_golden("sec73_queueing", computed)
+
+
+def test_golden_fig12_usage_ccdf(traces_2011, traces_2019):
+    computed = {
+        f"{era}.{resource}": [
+            consumption.usage_ccdf(traces, resource).at(x)
+            for x in USAGE_GRID]
+        for era, traces in (("2011", traces_2011), ("2019", traces_2019))
+        for resource in ("cpu", "mem")
+    }
+    _check_golden("fig12_usage_ccdf", computed)

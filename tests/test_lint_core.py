@@ -29,7 +29,8 @@ SIM_PATH = "src/repro/sim/fixture.py"
 # -- registry ---------------------------------------------------------------
 
 def test_builtin_rules_registered():
-    assert set(RULES) == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+    assert set(RULES) == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                          "RPR006"}
     for rule_id, cls in RULES.items():
         assert cls.id == rule_id
         assert cls.summary

@@ -1,4 +1,4 @@
-"""Per-rule fixtures for RPR002-RPR005: true positive, suppression, clean.
+"""Per-rule fixtures for RPR002-RPR006: true positive, suppression, clean.
 
 Each rule's positive fixture is the bug class the rule exists to catch —
 code that parses, imports, and passes casual runtime tests, but violates
@@ -258,3 +258,73 @@ def test_rpr005_allows_unit_modules_and_small_numbers():
 def test_rpr005_suppression():
     source = "window = 86400  # repro: noqa[RPR005] matches figure 7 caption\n"
     assert lint(source, ANALYSIS_PATH, "RPR005") == []
+
+
+# -- RPR006: obs discipline -------------------------------------------------
+
+def test_rpr006_flags_dynamic_span_names():
+    source = """\
+        from repro import obs
+
+        def work(kind, items):
+            with obs.span("sim." + kind):
+                pass
+            with obs.span(f"store.{kind}"):
+                pass
+            obs.traced(kind)
+    """
+    violations = lint(source, SIM_PATH, "RPR006")
+    assert len(violations) == 3
+    assert all("string literal" in v.message for v in violations)
+
+
+def test_rpr006_flags_missing_name_and_keyword_form():
+    source = """\
+        from repro.obs import span
+
+        def work(name):
+            with span():
+                pass
+            with span(name=name):
+                pass
+    """
+    violations = lint(source, SIM_PATH, "RPR006")
+    assert len(violations) == 2
+    assert "missing its span name" in violations[0].message
+
+
+def test_rpr006_allows_literals_and_dynamic_counters():
+    source = """\
+        from repro import obs
+        from repro.obs import traced
+
+        @traced("analysis.reducer")
+        def reduce(table, kind):
+            with obs.span("analysis.phase"):
+                # Counters may be dynamic: they are flat and merge by name.
+                obs.inc("analysis." + kind)
+            return table
+    """
+    assert lint(source, ANALYSIS_PATH, "RPR006") == []
+
+
+def test_rpr006_ignores_unrelated_span_functions():
+    source = """\
+        def span(name):
+            return name
+
+        def work(kind):
+            span(kind)  # not repro.obs.span
+    """
+    assert lint(source, SIM_PATH, "RPR006") == []
+
+
+def test_rpr006_suppression():
+    source = """\
+        from repro import obs
+
+        def work(kind):
+            with obs.span("x" + kind):  # repro: noqa[RPR006]
+                pass
+    """
+    assert lint(source, SIM_PATH, "RPR006") == []
