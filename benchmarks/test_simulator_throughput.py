@@ -5,8 +5,13 @@ engine, and trace encoding, on a small fixed scenario so the numbers
 are comparable across machines and revisions.
 """
 
+import multiprocessing
+
+import pytest
+
+from repro.sim.driver import run_cells
 from repro.trace import encode_cell, validate_trace
-from repro.workload import small_test_scenario
+from repro.workload import scenarios_2019, small_test_scenario
 
 
 def test_simulate_small_cell(benchmark):
@@ -17,6 +22,37 @@ def test_simulate_small_cell(benchmark):
     result = benchmark.pedantic(build_and_run, rounds=3, iterations=1,
                                 warmup_rounds=0)
     assert result.counters.jobs_submitted > 50
+
+
+def test_simulate_cells_serial(benchmark):
+    """Three-cell batch through the driver's inline path (the baseline
+    for the parallel speedup below)."""
+    def build_and_run():
+        return run_cells(scenarios_2019(seed=5, machines_per_cell=24,
+                                        horizon_hours=6.0,
+                                        cells=["a", "c", "g"]), workers=1)
+
+    results = benchmark.pedantic(build_and_run, rounds=3, iterations=1,
+                                 warmup_rounds=0)
+    assert len(results) == 3
+
+
+@pytest.mark.skipif(multiprocessing.cpu_count() < 2,
+                    reason="parallel driver needs multiple CPUs to win")
+def test_simulate_cells_parallel(benchmark):
+    """The same three-cell batch fanned out over three worker processes.
+
+    Only meaningful on multi-core machines; on a single CPU the pool
+    adds pure oversubscription overhead, so the benchmark is skipped.
+    """
+    def build_and_run():
+        return run_cells(scenarios_2019(seed=5, machines_per_cell=24,
+                                        horizon_hours=6.0,
+                                        cells=["a", "c", "g"]), workers=3)
+
+    results = benchmark.pedantic(build_and_run, rounds=3, iterations=1,
+                                 warmup_rounds=0)
+    assert len(results) == 3
 
 
 def test_encode_trace(benchmark):

@@ -6,7 +6,8 @@ Subcommands
 -----------
 simulate
     Simulate one or more cells and write their traces to a directory
-    (CSV or chunked-store format).
+    (CSV or chunked-store format), optionally fanning cells out over
+    worker processes with ``--workers``.
 validate
     Run the section-9 invariant pipeline over a saved trace.
 report
@@ -40,6 +41,7 @@ from repro import obs
 from repro.analysis.report import full_report
 from repro.lint import iter_python_files, lint_file
 from repro.lint import render as render_lint
+from repro.sim.driver import run_cells
 from repro.store import (
     Agg,
     And,
@@ -84,35 +86,44 @@ def _simulate(args) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     cells: List[str] = [c for c in args.cells.split(",") if c]
+    scenarios = []
     for name in cells:
-        t0 = time.perf_counter()
         if name == "2011":
-            scenario = scenario_2011(seed=args.seed,
-                                     machines_per_cell=args.machines,
-                                     horizon_hours=args.hours,
-                                     arrival_scale=args.scale)
+            scenarios.append(scenario_2011(seed=args.seed,
+                                           machines_per_cell=args.machines,
+                                           horizon_hours=args.hours,
+                                           arrival_scale=args.scale))
         else:
-            scenario = scenarios_2019(seed=args.seed,
-                                      machines_per_cell=args.machines,
-                                      horizon_hours=args.hours,
-                                      arrival_scale=args.scale,
-                                      cells=[name])[0]
-        trace = encode_cell(scenario.run())
-        t_sim = time.perf_counter() - t0
+            scenarios.append(scenarios_2019(seed=args.seed,
+                                            machines_per_cell=args.machines,
+                                            horizon_hours=args.hours,
+                                            arrival_scale=args.scale,
+                                            cells=[name])[0])
+    t0 = time.perf_counter()
+    results = run_cells(scenarios, workers=args.workers)
+    t_sim = time.perf_counter() - t0
+    parallel = args.workers and args.workers > 1 and len(scenarios) > 1
+    mode = (f"{min(args.workers, len(scenarios))} workers" if parallel
+            else "serial")
+    # Batch wall clock + per-cell row counts, so benchmark regressions
+    # in the simulator or the writer are visible straight from the CLI.
+    print(f"{len(results)} cell(s) simulated in {t_sim:.1f}s ({mode})")
+    for scenario, result in zip(scenarios, results):
+        name = scenario.name
         t1 = time.perf_counter()
+        trace = encode_cell(result)
         save_trace(trace, out / name, format=args.format)
         t_save = time.perf_counter() - t1
         rows = {tname: len(t) for tname, t in trace.tables.items()}
-        # Per-cell wall clock + row counts, so benchmark regressions in
-        # the simulator or the writer are visible straight from the CLI.
-        print(f"cell {name}: simulated in {t_sim:.1f}s, "
-              f"saved ({args.format}) in {t_save:.1f}s -> {out / name}")
+        print(f"cell {name}: encoded + saved ({args.format}) "
+              f"in {t_save:.1f}s -> {out / name}")
         print(f"cell {name}: rows written: total={sum(rows.values())} "
               + " ".join(f"{tname}={n}" for tname, n in rows.items()))
     _write_obs_report(args, "simulate",
                       {"cells": ",".join(cells), "machines": args.machines,
                        "hours": args.hours, "scale": args.scale,
-                       "seed": args.seed, "format": args.format})
+                       "seed": args.seed, "format": args.format,
+                       "workers": args.workers})
     return 0
 
 
@@ -289,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output directory (one subdir per cell)")
     p_sim.add_argument("--format", choices=("csv", "store"), default="csv",
                        help="trace format to write (default csv)")
+    p_sim.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the parallel multi-cell "
+                            "driver (default: serial; one cell per task)")
     _add_scale_args(p_sim)
     _add_obs_out_arg(p_sim)
     p_sim.set_defaults(func=_simulate)

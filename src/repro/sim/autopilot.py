@@ -55,7 +55,7 @@ def limit_trajectory(mode: AutopilotMode, initial_limit: float,
     """
     n = len(max_usage)
     limits = np.full(n, float(initial_limit))
-    if mode is AutopilotMode.NONE or n == 0:
+    if mode is AutopilotMode.NONE or n <= 1:
         return limits
 
     if mode is AutopilotMode.FULLY:
@@ -63,14 +63,21 @@ def limit_trajectory(mode: AutopilotMode, initial_limit: float,
     else:
         floor = initial_limit * params.min_limit_fraction_constrained
 
-    for w in range(1, n):
-        lo = max(0, w - params.peak_window)
-        trailing_peak = float(np.max(max_usage[lo:w]))
-        target = trailing_peak * params.margin
-        limits[w] = float(np.clip(target, floor, initial_limit))
-        # React to overload within the window: never cap below usage.
-        if limits[w] < max_usage[w]:
-            limits[w] = min(initial_limit, max_usage[w] * params.margin)
+    # Vectorized form of the per-window loop: trailing[w-1] is the max
+    # of the up-to-peak_window previous usage peaks, built by folding
+    # shifted copies together (max selection is exact, so this equals
+    # the loop's np.max over each trailing slice bit-for-bit).
+    mu = np.asarray(max_usage, dtype=float)
+    trailing = mu[:-1].copy()
+    for shift in range(2, min(params.peak_window, n - 1) + 1):
+        trailing[shift - 1:] = np.maximum(trailing[shift - 1:], mu[:n - shift])
+    target = trailing * params.margin
+    window_limits = np.clip(target, floor, initial_limit)
+    # React to overload within the window: never cap below usage.
+    overload = window_limits < mu[1:]
+    window_limits[overload] = np.minimum(initial_limit,
+                                         mu[1:][overload] * params.margin)
+    limits[1:] = window_limits
     return limits
 
 

@@ -10,6 +10,7 @@ the usage-sample arrays, and the final collection states.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from dataclasses import dataclass, field
@@ -18,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.sim.autopilot import AutopilotMode, AutopilotParams, limit_trajectory
+from repro.sim.autopilot import AutopilotParams
 from repro.sim.batch import BatchParams, BatchQueue
 from repro.sim.dependencies import DependencyManager
 from repro.sim.entities import (
@@ -29,11 +30,22 @@ from repro.sim.entities import (
     SchedulerKind,
 )
 from repro.sim.events import EventLog, EventType
+from repro.sim.fleet import FleetState
 from repro.sim.machine import Machine
 from repro.sim.priority import Tier
 from repro.sim.resources import Resources
 from repro.sim.scheduler import PendingQueue, PlacementPolicy, SchedulerParams
-from repro.sim.usage import UsageModel, UsageModelParams
+from repro.sim.usage import (
+    AUTOPILOT_CODES,
+    TIER_CODES,
+    UsageBatch,
+    UsageModel,
+    UsageModelParams,
+)
+
+# Re-exported for consumers that treat the cell module as the simulator
+# façade (tests import TIER_CODES from here).
+__all__ = ["CellSim", "CellResult", "TIER_CODES", "_reconcile_machine_usage"]
 from repro.util.errors import SimulationError
 from repro.util.rng import RngFactory
 from repro.util.timeutil import HOUR_SECONDS
@@ -45,11 +57,6 @@ _END_EVENT = {
     EndReason.FAIL: EventType.FAIL,
 }
 
-#: Integer tier codes used in the packed usage arrays.
-TIER_CODES = {Tier.FREE: 0, Tier.BEB: 1, Tier.MID: 2, Tier.PROD: 3, Tier.MONITORING: 4}
-TIER_FROM_CODE = {v: k for k, v in TIER_CODES.items()}
-AUTOPILOT_CODES = {"none": 0, "fully": 1, "constrained": 2}
-AUTOPILOT_FROM_CODE = {v: k for k, v in AUTOPILOT_CODES.items()}
 
 
 @dataclass(frozen=True)
@@ -124,35 +131,6 @@ class CellResult:
         return Resources(cpu, mem)
 
 
-class _UsageBuffer:
-    """Accumulates usage-sample columns as python lists of numpy chunks."""
-
-    COLUMNS = (
-        "collection_id", "instance_index", "machine_id", "tier_code",
-        "autopilot_code", "in_alloc", "window_start", "duration",
-        "avg_cpu", "max_cpu", "avg_mem", "max_mem", "cpu_limit", "mem_limit",
-    )
-
-    def __init__(self):
-        self._chunks: Dict[str, List[np.ndarray]] = {c: [] for c in self.COLUMNS}
-        self.n_rows = 0
-
-    def append(self, **arrays: np.ndarray) -> None:
-        n = len(arrays["window_start"])
-        if n == 0:
-            return
-        for name in self.COLUMNS:
-            self._chunks[name].append(arrays[name])
-        self.n_rows += n
-
-    def finalize(self) -> Dict[str, np.ndarray]:
-        out = {}
-        for name in self.COLUMNS:
-            chunks = self._chunks[name]
-            out[name] = np.concatenate(chunks) if chunks else np.empty(0)
-        return out
-
-
 def _reconcile_machine_usage(usage: Dict[str, np.ndarray],
                              machines: Sequence[Machine],
                              sample_period: float) -> None:
@@ -203,6 +181,9 @@ class CellSim:
         self.config = config
         self.machines = list(machines)
         self.machines_by_id = {m.machine_id: m for m in self.machines}
+        #: Columnar mirror of the fleet, kept in sync by machine
+        #: mutations; the placement kernel runs against these arrays.
+        self.fleet = FleetState(self.machines)
         self.workload = sorted(workload, key=lambda c: c.submit_time)
         self.rng = rng
         self.events = EventLog()
@@ -224,7 +205,9 @@ class CellSim:
         self._policy = PlacementPolicy(config.scheduler, rng.stream("placement"))
         self._usage_model = UsageModel(config.usage, config.sample_period,
                                        config.utc_offset_hours)
-        self._usage = _UsageBuffer()
+        #: Run intervals queued for batched sample generation (one
+        #: vectorized pass at finalize instead of numpy calls per stop).
+        self._usage = UsageBatch(self._usage_model, config.autopilot)
         cell_capacity = Resources(
             sum(m.capacity.cpu for m in self.machines),
             sum(m.capacity.mem for m in self.machines),
@@ -237,6 +220,20 @@ class CellSim:
         self._rng_hazard = rng.stream("hazards")
         self._rng_usage = rng.stream("usage")
         self._rng_machine = rng.stream("machine-downtime")
+        # Hazard-arming fast path: exponential scales precomputed per
+        # tier (same float64 division, done once instead of per arming)
+        # and the generator methods bound once.  Every schedule event
+        # arms hazards, so this path runs once per placement.
+        self._hazard_exp = self._rng_hazard.exponential
+        self._hazard_random = self._rng_hazard.random
+        self._evict_scale = {
+            tier.rank: HOUR_SECONDS / rate
+            for tier, rate in config.eviction_rate_per_hour.items() if rate > 0
+        }
+        self._restart_scale = (
+            HOUR_SECONDS / config.restart_rate_per_hour
+            if config.restart_rate_per_hour > 0 else 0.0
+        )
 
     # ------------------------------------------------------------------ setup
 
@@ -261,8 +258,20 @@ class CellSim:
 
     def run(self) -> CellResult:
         """Execute the cell simulation and return its result."""
-        with obs.span("sim.run"):
-            return self._run()
+        # The run allocates hundreds of thousands of interlinked objects
+        # (events, instances, heap entries) that all stay reachable until
+        # the result is returned, so cyclic-GC passes during the loop are
+        # pure overhead — they scan an ever-growing live graph and free
+        # nothing.  Collection is deferred, not skipped: anything garbage
+        # is reclaimed at the caller's next GC once this returns.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            with obs.span("sim.run"):
+                return self._run()
+        finally:
+            if was_enabled:
+                gc.enable()
 
     def _run(self) -> CellResult:
         with obs.span("sim.seed_events"):
@@ -296,7 +305,7 @@ class CellSim:
                 handlers[kind](time, payload)
         with obs.span("sim.finalize"):
             self._finalize(horizon)
-            usage = self._usage.finalize()
+            usage = self._usage.finalize(self._rng_usage)
         with obs.span("sim.reconcile_usage"):
             _reconcile_machine_usage(usage, self.machines,
                                      self.config.sample_period)
@@ -455,11 +464,11 @@ class CellSim:
             # No alloc room (alloc set still pending, or full): fall through
             # to direct machine placement, as Borg does.
 
-        machine = self._policy.find_machine(self.machines, instance.request,
+        machine = self._policy.find_machine(self.fleet, instance.request,
                                             instance.constraint)
         if machine is None and instance.tier in self.config.preempting_tiers:
             found = self._policy.find_preemption(
-                self.machines, instance.request, instance.tier.rank,
+                self.fleet, instance.request, instance.tier.rank,
                 instance.constraint,
             )
             if found is not None:
@@ -514,14 +523,13 @@ class CellSim:
         self._arm_hazards(t, instance)
 
     def _arm_hazards(self, t: float, instance: Instance) -> None:
-        rate = self.config.eviction_rate_per_hour.get(instance.tier, 0.0)
-        if rate > 0:
-            delay = float(self._rng_hazard.exponential(HOUR_SECONDS / rate))
+        collection = instance.collection
+        scale = self._evict_scale.get(collection.tier.rank)
+        if scale is not None:
+            delay = float(self._hazard_exp(scale))
             self._push(t + delay, "evict", (instance, instance.incarnation))
-        if self.config.restart_rate_per_hour > 0 and not instance.is_alloc_instance:
-            delay = float(self._rng_hazard.exponential(
-                HOUR_SECONDS / self.config.restart_rate_per_hour
-            ))
+        if self._restart_scale and not instance.is_alloc_instance:
+            delay = float(self._hazard_exp(self._restart_scale))
             self._push(t + delay, "restart", (instance, instance.incarnation))
 
     # ------------------------------------------------------------ stop paths
@@ -549,67 +557,46 @@ class CellSim:
 
     def _emit_usage(self, instance: Instance, start: float, end: float,
                     machine_id: int) -> None:
+        """Queue the closed run interval for batched sample generation.
+
+        Only scalars are captured here; the actual sampling happens in
+        one vectorized pass at finalize (``UsageBatch``), drawing from
+        the dedicated usage RNG stream in this same interval order.
+        """
         if end <= start:
             return
         collection = instance.collection
+        # The packed tier code is the tier's rank (TIER_CODES is defined
+        # that way), so the hot path reads the plain .rank attribute
+        # instead of hashing an enum member per interval.
         if instance.is_alloc_instance:
             # Alloc instances are reservations: they contribute allocation
             # (their limit) but no usage of their own — usage comes from
             # the tenant tasks scheduled inside them, which are sampled on
             # the same machine.  Emitting usage here would double-count.
-            starts = self._usage_model.window_starts(start, end)
-            n = len(starts)
-            if n == 0:
-                return
-            window_ends = np.minimum(starts + self._usage_model.sample_period, end)
-            zeros = np.zeros(n)
-            self._usage.append(
-                collection_id=np.full(n, collection.collection_id, dtype=np.int64),
-                instance_index=np.full(n, instance.index, dtype=np.int32),
-                machine_id=np.full(n, machine_id, dtype=np.int32),
-                tier_code=np.full(n, TIER_CODES[collection.tier], dtype=np.int8),
-                autopilot_code=np.full(
-                    n, AUTOPILOT_CODES[collection.autopilot_mode], dtype=np.int8
-                ),
-                in_alloc=np.zeros(n, dtype=bool),
-                window_start=starts,
-                duration=window_ends - np.maximum(starts, start),
-                avg_cpu=zeros, max_cpu=zeros, avg_mem=zeros, max_mem=zeros,
-                cpu_limit=np.full(n, instance.request.cpu),
-                mem_limit=np.full(n, instance.request.mem),
+            self._usage.add_alloc(
+                collection_id=collection.collection_id,
+                instance_index=instance.index,
+                machine_id=machine_id,
+                tier_code=collection.tier.rank,
+                autopilot_code=AUTOPILOT_CODES[collection.autopilot_mode],
+                start=start, end=end,
+                cpu_limit=instance.request.cpu,
+                mem_limit=instance.request.mem,
             )
             return
-        samples = self._usage_model.sample_interval(
-            self._rng_usage, start, end,
-            cpu_limit=instance.request.cpu, mem_limit=instance.request.mem,
+        self._usage.add_task(
+            collection_id=collection.collection_id,
+            instance_index=instance.index,
+            machine_id=machine_id,
+            tier_code=collection.tier.rank,
+            autopilot_code=AUTOPILOT_CODES[collection.autopilot_mode],
+            in_alloc=collection.alloc_collection_id is not None,
+            start=start, end=end,
+            cpu_limit=instance.request.cpu,
+            mem_limit=instance.request.mem,
             cpu_fraction=collection.cpu_usage_fraction,
             mem_fraction=collection.mem_usage_fraction,
-        )
-        n = len(samples["window_start"])
-        if n == 0:
-            return
-        mode = AutopilotMode(collection.autopilot_mode)
-        cpu_limits = limit_trajectory(mode, instance.request.cpu,
-                                      samples["max_cpu"], self.config.autopilot)
-        mem_limits = limit_trajectory(mode, instance.request.mem,
-                                      samples["max_mem"], self.config.autopilot)
-        self._usage.append(
-            collection_id=np.full(n, collection.collection_id, dtype=np.int64),
-            instance_index=np.full(n, instance.index, dtype=np.int32),
-            machine_id=np.full(n, machine_id, dtype=np.int32),
-            tier_code=np.full(n, TIER_CODES[collection.tier], dtype=np.int8),
-            autopilot_code=np.full(
-                n, AUTOPILOT_CODES[collection.autopilot_mode], dtype=np.int8
-            ),
-            in_alloc=np.full(n, collection.alloc_collection_id is not None, dtype=bool),
-            window_start=samples["window_start"],
-            duration=samples["duration"],
-            avg_cpu=samples["avg_cpu"],
-            max_cpu=samples["max_cpu"],
-            avg_mem=samples["avg_mem"],
-            max_mem=samples["max_mem"],
-            cpu_limit=cpu_limits,
-            mem_limit=mem_limits,
         )
 
     def _evict_instance(self, t: float, instance: Instance) -> None:
@@ -651,7 +638,7 @@ class CellSim:
         self.counters.task_restarts += 1
         self.events.instance(t, instance, EventType.FAIL, machine_id=machine_id,
                              is_new=False)
-        if self._rng_hazard.random() < 0.10:
+        if self._hazard_random() < 0.10:
             # Occasionally the restart lands elsewhere: full stop + requeue.
             self._stop_run(t, instance)
             instance.state = InstanceState.PENDING
@@ -670,10 +657,8 @@ class CellSim:
         self.events.instance(t, instance, EventType.SUBMIT, is_new=False)
         self.events.instance(t, instance, EventType.SCHEDULE,
                              machine_id=machine_id, is_new=False)
-        if self.config.restart_rate_per_hour > 0:
-            delay = float(self._rng_hazard.exponential(
-                HOUR_SECONDS / self.config.restart_rate_per_hour
-            ))
+        if self._restart_scale:
+            delay = float(self._hazard_exp(self._restart_scale))
             self._push(t + delay, "restart", (instance, incarnation))
 
     def _on_machine_down(self, t: float, machine: Machine) -> None:

@@ -47,9 +47,15 @@ class SchedulerKind(enum.Enum):
     BATCH = "batch"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Collection:
-    """A job or an alloc set, plus its scheduling metadata."""
+    """A job or an alloc set, plus its scheduling metadata.
+
+    ``slots=True`` (here and on :class:`Instance`): the simulator holds
+    hundreds of thousands of these and reads their attributes in every
+    hot path — slot access is faster than a dict lookup and the objects
+    shrink considerably.  Identity semantics (``eq=False``) are kept.
+    """
 
     collection_id: int
     collection_type: CollectionType
@@ -80,9 +86,14 @@ class Collection:
     end_reason: Optional[EndReason] = None
     child_ids: List[int] = field(default_factory=list)
 
-    @property
-    def is_alloc_set(self) -> bool:
-        return self.collection_type is CollectionType.ALLOC_SET
+    #: Derived flag resolved once at construction (collection_type never
+    #: changes); a plain attribute because the simulator reads it on
+    #: every placement and usage interval, where a property's descriptor
+    #: call is measurable.
+    is_alloc_set: bool = field(init=False)
+
+    def __post_init__(self):
+        self.is_alloc_set = self.collection_type is CollectionType.ALLOC_SET
 
     @property
     def is_done(self) -> bool:
@@ -102,7 +113,7 @@ class Collection:
         return max(0.0, self.first_running_time - self.enable_time)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Instance:
     """One replica: a task, or one alloc instance of an alloc set."""
 
@@ -137,9 +148,12 @@ class Instance:
     def tier(self) -> Tier:
         return self.collection.tier
 
-    @property
-    def is_alloc_instance(self) -> bool:
-        return self.collection.is_alloc_set
+    #: Mirror of the owning collection's ``is_alloc_set``, resolved once
+    #: (an instance never changes collection) — same hot-path reasoning.
+    is_alloc_instance: bool = field(init=False)
+
+    def __post_init__(self):
+        self.is_alloc_instance = self.collection.is_alloc_set
 
     @property
     def constraint(self) -> str:

@@ -10,8 +10,9 @@ separates ``collection_events`` and ``instance_events`` tables.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
+
+_tuple_new = tuple.__new__
 
 
 class EventType(enum.Enum):
@@ -36,8 +37,14 @@ TERMINAL_EVENTS = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class CollectionEvent:
+
+
+# The event records are NamedTuples rather than frozen dataclasses:
+# millions of them are constructed per month-scale run, and tuple
+# construction is several times cheaper than a frozen dataclass's
+# __init__ + object.__setattr__ per field.  Attribute access (the only
+# way consumers read them) is unchanged.
+class CollectionEvent(NamedTuple):
     time: float
     collection_id: int
     event: EventType
@@ -53,8 +60,7 @@ class CollectionEvent:
     num_instances: int
 
 
-@dataclass(frozen=True)
-class InstanceEvent:
+class InstanceEvent(NamedTuple):
     time: float
     collection_id: int
     instance_index: int
@@ -67,8 +73,7 @@ class InstanceEvent:
     is_new: bool              # False for reschedules of previously-run work
 
 
-@dataclass(frozen=True)
-class MachineEvent:
+class MachineEvent(NamedTuple):
     time: float
     machine_id: int
     event: str                # "ADD" | "REMOVE" | "UPDATE"
@@ -77,7 +82,14 @@ class MachineEvent:
 
 
 class EventLog:
-    """Append-only streams of collection, instance and machine events."""
+    """Append-only streams of collection, instance and machine events.
+
+    The record constructors here spell ``tuple.__new__(Cls, (...))``
+    instead of ``Cls(...)``: a NamedTuple's generated ``__new__`` is a
+    Python-level wrapper around exactly that call, and these two methods
+    are the hottest constructors in a run.  The resulting objects are
+    ordinary ``CollectionEvent``/``InstanceEvent`` instances.
+    """
 
     def __init__(self):
         self.collection_events: List[CollectionEvent] = []
@@ -86,43 +98,56 @@ class EventLog:
 
     def collection(self, time: float, collection, event: EventType) -> None:
         """Record a collection-level event."""
+        parent_id = collection.parent_id
+        alloc_id = collection.alloc_collection_id
         self.collection_events.append(
-            CollectionEvent(
-                time=time,
-                collection_id=collection.collection_id,
-                event=event,
-                collection_type=collection.collection_type.value,
-                priority=collection.priority,
-                tier=collection.tier.value,
-                user=collection.user,
-                scheduler=collection.scheduler.value,
-                parent_id=collection.parent_id if collection.parent_id is not None else -1,
-                alloc_collection_id=(
-                    collection.alloc_collection_id
-                    if collection.alloc_collection_id is not None
-                    else -1
+            _tuple_new(
+                CollectionEvent,
+                (
+                    time,
+                    collection.collection_id,
+                    event,
+                    # ._value_ is the member's plain value attribute; the
+                    # public .value spelling routes through
+                    # DynamicClassAttribute.__get__, a descriptor call the
+                    # event hot path makes millions of times per run.
+                    collection.collection_type._value_,
+                    collection.priority,
+                    collection.tier._value_,
+                    collection.user,
+                    collection.scheduler._value_,
+                    parent_id if parent_id is not None else -1,
+                    alloc_id if alloc_id is not None else -1,
+                    collection.autopilot_mode,
+                    collection.constraint,
+                    collection.num_instances,
                 ),
-                autopilot_mode=collection.autopilot_mode,
-                constraint=collection.constraint,
-                num_instances=collection.num_instances,
             )
         )
 
     def instance(self, time: float, instance, event: EventType,
                  machine_id: Optional[int] = None, is_new: bool = True) -> None:
         """Record an instance-level event."""
+        request = instance.request
+        # One collection fetch instead of three property hops: .priority
+        # and .tier on Instance are delegating properties, and this is
+        # the hottest event constructor in a run.
+        collection = instance.collection
         self.instance_events.append(
-            InstanceEvent(
-                time=time,
-                collection_id=instance.collection.collection_id,
-                instance_index=instance.index,
-                event=event,
-                machine_id=machine_id if machine_id is not None else -1,
-                priority=instance.priority,
-                tier=instance.tier.value,
-                cpu_request=instance.request.cpu,
-                mem_request=instance.request.mem,
-                is_new=is_new,
+            _tuple_new(
+                InstanceEvent,
+                (
+                    time,
+                    collection.collection_id,
+                    instance.index,
+                    event,
+                    machine_id if machine_id is not None else -1,
+                    collection.priority,
+                    collection.tier._value_,
+                    request.cpu,
+                    request.mem,
+                    is_new,
+                ),
             )
         )
 

@@ -1,0 +1,106 @@
+"""Structure-of-arrays fleet state backing the vectorized placement kernel.
+
+:class:`FleetState` mirrors a cell's :class:`~repro.sim.machine.Machine`
+list as parallel numpy arrays (capacity, allocation, up/down, platform
+code), so admissibility and best-fit scoring over candidate sets become
+a handful of vector operations instead of a Python loop per machine.
+
+The arrays are kept in sync *incrementally*: an attached machine writes
+its post-mutation allocation and up/down state through the sync hooks
+below on every :meth:`~repro.sim.machine.Machine.place`,
+:meth:`~repro.sim.machine.Machine.remove`, and ``up`` transition.  The
+synced values are copied verbatim from the machine's own accounting (not
+recomputed), so ``allocated_cpu[i]`` is bit-identical to
+``machines[i].allocated.cpu`` at all times — the invariant that makes
+the vectorized kernel's arithmetic exactly equal to the per-object
+reference path (see DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sim.machine import Machine
+
+
+class FleetState:
+    """Columnar mirror of a machine fleet.
+
+    With ``attach=True`` (the default) each machine is bound to this
+    state and keeps it current through the sync hooks; a machine belongs
+    to at most one attached ``FleetState`` at a time.  ``attach=False``
+    builds a one-shot snapshot of the fleet's current state without
+    claiming ownership — used when a plain machine sequence is passed to
+    the placement policy directly (tests, diagnostics).
+    """
+
+    def __init__(self, machines: Sequence["Machine"], attach: bool = True):
+        self.machines: List["Machine"] = list(machines)
+        n = len(self.machines)
+        self.n = n
+        self.capacity_cpu = np.fromiter(
+            (m.capacity.cpu for m in self.machines), dtype=np.float64, count=n)
+        self.capacity_mem = np.fromiter(
+            (m.capacity.mem for m in self.machines), dtype=np.float64, count=n)
+        self.up = np.fromiter((m.up for m in self.machines), dtype=bool, count=n)
+        #: Packed (2, n) float64 matrix: row 0 is allocated CPU, row 1
+        #: allocated memory.  Dimension-major (transposed) so the sampled
+        #: placement path gathers a candidate block with one
+        #: ``take(axis=1)`` and every downstream per-dimension view is a
+        #: contiguous row; the named ``allocated_cpu``/``allocated_mem``
+        #: rows are views into it, so one write updates both forms.
+        self.alloc = np.empty((2, n), dtype=np.float64)
+        self.alloc[0] = np.fromiter(
+            (m.allocated.cpu for m in self.machines), dtype=np.float64, count=n)
+        self.alloc[1] = np.fromiter(
+            (m.allocated.mem for m in self.machines), dtype=np.float64, count=n)
+        self.allocated_cpu = self.alloc[0]
+        self.allocated_mem = self.alloc[1]
+        self._platform_codes: Dict[str, int] = {}
+        codes = np.empty(n, dtype=np.int32)
+        for i, machine in enumerate(self.machines):
+            codes[i] = self._platform_codes.setdefault(
+                machine.platform, len(self._platform_codes))
+        self.platform_code = codes
+        if attach:
+            for i, machine in enumerate(self.machines):
+                machine.attach_fleet(self, i)
+
+    def platform_code_of(self, platform: str) -> int:
+        """The integer code of ``platform``; -1 if no machine has it."""
+        return self._platform_codes.get(platform, -1)
+
+    # -- sync hooks (called by Machine) ---------------------------------------
+
+    def sync_allocated(self, index: int, cpu: float, mem: float) -> None:
+        """Copy a machine's post-mutation allocation into the arrays."""
+        self.alloc[0, index] = cpu
+        self.alloc[1, index] = mem
+
+    def sync_up(self, index: int, up: bool) -> None:
+        """Record a machine's up/down transition."""
+        self.up[index] = up
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert the arrays equal the machines' own accounting (tests)."""
+        for i, machine in enumerate(self.machines):
+            if (self.allocated_cpu[i] != machine.allocated.cpu
+                    or self.allocated_mem[i] != machine.allocated.mem
+                    or bool(self.up[i]) != machine.up
+                    or self.alloc[0, i] != machine.allocated.cpu
+                    or self.alloc[1, i] != machine.allocated.mem):
+                raise AssertionError(
+                    f"FleetState out of sync at machine index {i}: "
+                    f"arrays=({self.allocated_cpu[i]}, {self.allocated_mem[i]}, "
+                    f"{self.up[i]}) machine=({machine.allocated.cpu}, "
+                    f"{machine.allocated.mem}, {machine.up})"
+                )
+
+    def __repr__(self) -> str:
+        return (f"FleetState(n={self.n}, up={int(self.up.sum())}, "
+                f"platforms={len(self._platform_codes)})")

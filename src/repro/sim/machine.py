@@ -18,18 +18,47 @@ from repro.util.errors import SimulationError
 class Machine:
     """One node of a cell."""
 
+    # Same rationale as the entity dataclasses: thousands of machines,
+    # attribute reads on every placement and sync.
+    __slots__ = ("machine_id", "capacity", "platform", "utc_offset_hours",
+                 "_up", "allocated", "instances", "_fleet", "_fleet_index")
+
     def __init__(self, machine_id: int, capacity: Resources,
                  platform: str = "default", utc_offset_hours: float = 0.0):
         self.machine_id = machine_id
         self.capacity = capacity
         self.platform = platform
         self.utc_offset_hours = utc_offset_hours
-        self.up = True
+        self._up = True
         self.allocated = Resources.ZERO
         #: Insertion-ordered (dict-as-set): iteration order must be
         #: deterministic — a real set would iterate by object address and
         #: make eviction order differ between identical runs.
         self.instances: Dict[Instance, None] = {}
+        # The attached FleetState (if any) mirrors this machine's
+        # allocation and up/down state in its columnar arrays.
+        self._fleet = None
+        self._fleet_index = -1
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._up = bool(value)
+        if self._fleet is not None:
+            self._fleet.sync_up(self._fleet_index, self._up)
+
+    def attach_fleet(self, fleet, index: int) -> None:
+        """Bind this machine to a :class:`~repro.sim.fleet.FleetState` slot."""
+        self._fleet = fleet
+        self._fleet_index = index
+
+    def _sync_allocated(self) -> None:
+        if self._fleet is not None:
+            self._fleet.sync_allocated(self._fleet_index,
+                                       self.allocated.cpu, self.allocated.mem)
 
     def __repr__(self) -> str:
         return (f"Machine({self.machine_id}, cap=({self.capacity.cpu:.2f},"
@@ -65,6 +94,7 @@ class Machine:
             )
         self.instances[instance] = None
         self.allocated = self.allocated + instance.request
+        self._sync_allocated()
 
     def remove(self, instance: Instance) -> None:
         if instance not in self.instances:
@@ -73,6 +103,7 @@ class Machine:
             )
         del self.instances[instance]
         self.allocated = self.allocated - instance.request
+        self._sync_allocated()
 
     # -- preemption support ----------------------------------------------------------
 

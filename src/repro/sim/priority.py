@@ -26,10 +26,12 @@ class Tier(enum.Enum):
     PROD = "prod"
     MONITORING = "monitoring"
 
-    @property
-    def rank(self) -> int:
-        """Preemption strength: higher ranks may evict lower ones."""
-        return _RANKS[self]
+    #: Preemption strength: higher ranks may evict lower ones.  Bound as
+    #: a plain per-member attribute below rather than a property: the
+    #: scheduler reads ``.rank`` on every queue push and preemption
+    #: check, and a property costs a descriptor call plus an enum-keyed
+    #: dict hash (both Python-level) per access.
+    rank: int
 
     @property
     def label(self) -> str:
@@ -44,6 +46,9 @@ _RANKS = {
     Tier.PROD: 3,
     Tier.MONITORING: 4,
 }
+for _tier, _rank in _RANKS.items():
+    _tier.rank = _rank
+del _tier, _rank
 
 #: Analysis ordering (paper figures stack free -> beb -> mid -> prod, with
 #: monitoring merged into prod).

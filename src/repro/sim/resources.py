@@ -8,10 +8,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+_new = object.__new__
+_set = object.__setattr__
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Resources:
-    """An (NCU, NMU) pair; immutable, supports elementwise arithmetic."""
+    """An (NCU, NMU) pair; immutable, supports elementwise arithmetic.
+
+    ``slots=True`` because millions of these exist per month-scale run
+    and ``.cpu``/``.mem`` are among the hottest attribute reads in the
+    simulator.
+    """
 
     cpu: float
     mem: float
@@ -20,15 +28,28 @@ class Resources:
         if self.cpu < -1e-9 or self.mem < -1e-9:
             raise ValueError(f"negative resources: cpu={self.cpu}, mem={self.mem}")
 
+    # Arithmetic bypasses the validating constructor: __add__/__mul__
+    # preserve non-negativity and __sub__ clamps at zero, so re-running
+    # __post_init__ (plus the frozen-dataclass __setattr__ dance) on
+    # every operation — millions per simulated month — buys nothing.
     def __add__(self, other: "Resources") -> "Resources":
-        return Resources(self.cpu + other.cpu, self.mem + other.mem)
+        r = _new(Resources)
+        _set(r, "cpu", self.cpu + other.cpu)
+        _set(r, "mem", self.mem + other.mem)
+        return r
 
     def __sub__(self, other: "Resources") -> "Resources":
         # Clamp tiny negative residue from float accumulation.
-        return Resources(max(0.0, self.cpu - other.cpu), max(0.0, self.mem - other.mem))
+        r = _new(Resources)
+        _set(r, "cpu", max(0.0, self.cpu - other.cpu))
+        _set(r, "mem", max(0.0, self.mem - other.mem))
+        return r
 
     def __mul__(self, k: float) -> "Resources":
-        return Resources(self.cpu * k, self.mem * k)
+        r = _new(Resources)
+        _set(r, "cpu", self.cpu * k)
+        _set(r, "mem", self.mem * k)
+        return r
 
     __rmul__ = __mul__
 

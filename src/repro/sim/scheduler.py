@@ -6,17 +6,28 @@ check under per-dimension over-commit factors, best-fit scoring over a
 sampled candidate set (power-of-k-choices keeps month-scale runs fast
 without changing behavior materially), and priority preemption — a
 production-tier task may evict lower-tier instances to make room.
+
+The hot path runs as a structure-of-arrays kernel over a
+:class:`~repro.sim.fleet.FleetState`: candidate sampling draws from a
+pre-drawn index block, admissibility and best-fit scoring are vector
+operations, and the full-scan fallback is one masked ``argmin``.  The
+kernel is bit-equivalent to the per-machine reference methods
+:meth:`PlacementPolicy._admissible` / :meth:`PlacementPolicy._score`
+(same float operations in the same order; see DESIGN.md §10 and the
+equivalence property test).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
 from repro.sim.entities import Instance
+from repro.sim.fleet import FleetState
 from repro.sim.machine import Machine
 from repro.sim.resources import Resources
 
@@ -40,12 +51,95 @@ class SchedulerParams:
     round_capacity: int = 2000
 
 
+#: Candidate machines examined per preemption search.
+PREEMPTION_CANDIDATES = 24
+
+
 class PlacementPolicy:
     """Stateless placement decisions over a machine fleet."""
+
+    #: Size of the pre-drawn candidate-index block.  One bulk
+    #: ``integers()`` call amortizes the numpy Generator overhead across
+    #: hundreds of placements; consuming the block strictly in order
+    #: keeps the index sequence bit-identical to per-call draws (numpy
+    #: fills bounded integers sequentially from the bit stream).
+    INDEX_BLOCK = 4096
 
     def __init__(self, params: SchedulerParams, rng: np.random.Generator):
         self.params = params
         self.rng = rng
+        self._idx_block: Optional[np.ndarray] = None
+        self._idx_pos = 0
+        self._idx_bound = -1
+        # Request-independent per-fleet arrays (admission bounds, score
+        # denominators), rebuilt when a different FleetState shows up.
+        # Machine capacities never change during a run, so the cache
+        # stays valid across allocation and up/down churn.
+        self._consts_for: Optional[FleetState] = None
+        self._adm_cpu: Optional[np.ndarray] = None
+        self._adm_mem: Optional[np.ndarray] = None
+        self._headroom_cpu: Optional[np.ndarray] = None
+        self._headroom_mem: Optional[np.ndarray] = None
+        self._den_cpu: Optional[np.ndarray] = None
+        self._den_mem: Optional[np.ndarray] = None
+        self._consts6: Optional[np.ndarray] = None
+        # Counter handles bound once: the hot path pays one integer add
+        # per placement, not a registry lookup (same budget rule as the
+        # cell event loop).
+        self._ctr_attempts = obs.counter("sim.placement.attempts")
+        self._ctr_full_scans = obs.counter("sim.placement.full_scans")
+        self._ctr_preemptions = obs.counter("sim.placement.preemption_searches")
+        # Fixed-size kernel workspace, reused across placements so the
+        # sampled path allocates nothing.  In-place ufuncs on these
+        # buffers compute the same float64 values in the same order as
+        # the allocating spelling — only the destination differs.
+        # Buffers are dimension-major — shape (2, k), one row per
+        # resource dimension — so each per-dimension view the kernel
+        # touches (``fits[0]``, ``free[0]``, the const planes) is
+        # C-contiguous, and every gather is the ``ndarray.take`` method
+        # (the ``np.take`` wrapper pays a Python dispatch through
+        # fromnumeric on every call).
+        k = params.candidates
+        self._req2 = np.empty((2, 1))
+        self._ws_alloc = np.empty((2, k))
+        self._ws_up = np.empty(k, dtype=bool)
+        self._ws_c6 = np.empty((6, k))
+        self._ws_sum = np.empty((2, k))
+        self._ws_fits = np.empty((2, k), dtype=bool)
+        self._ws_nok = np.empty(k, dtype=bool)
+        self._ws_free = np.empty((2, k))
+        self._ws_scores = np.empty(k)
+
+    def _fleet_consts(self, fleet: FleetState) -> None:
+        """(Re)build the per-fleet constant arrays for ``fleet``.
+
+        Elementwise precomputation is bit-exact: indexing a precomputed
+        ``capacity * factor + eps`` array yields the same float64 as
+        computing it per candidate.
+        """
+        if self._consts_for is fleet:
+            return
+        self._consts_for = fleet
+        self._adm_cpu = fleet.capacity_cpu * self.params.overcommit_cpu + 1e-12
+        self._adm_mem = fleet.capacity_mem * self.params.overcommit_mem + 1e-12
+        self._headroom_cpu = fleet.capacity_cpu * self.params.overcommit_cpu
+        self._headroom_mem = fleet.capacity_mem * self.params.overcommit_mem
+        self._den_cpu = np.maximum(fleet.capacity_cpu, 1e-9)
+        self._den_mem = np.maximum(fleet.capacity_mem, 1e-9)
+        # Packed (6, n) dimension-major form of the same constants —
+        # admission bounds, over-commit headroom, score denominators —
+        # so the sampled path pulls all six planes with one contiguous
+        # ``take(axis=1)`` per placement.
+        self._consts6 = np.stack([
+            self._adm_cpu, self._adm_mem,
+            self._headroom_cpu, self._headroom_mem,
+            self._den_cpu, self._den_mem,
+        ])
+
+    # ------------------------------------------------------------ reference
+    # Scalar reference implementations.  The vectorized kernel below is
+    # bit-equivalent to looping these over machines; the equivalence
+    # property test holds the two paths together.
 
     def _admissible(self, machine: Machine, request: Resources,
                     constraint: str = "") -> bool:
@@ -65,42 +159,136 @@ class PlacementPolicy:
         free_mem = cap.mem * self.params.overcommit_mem - machine.allocated.mem - request.mem
         return max(free_cpu / max(cap.cpu, 1e-9), free_mem / max(cap.mem, 1e-9))
 
-    def find_machine(self, machines: Sequence[Machine], request: Resources,
+    # --------------------------------------------------------------- kernel
+
+    def _draw_indices(self, n: int, k: int) -> np.ndarray:
+        """``k`` candidate indices in [0, n): next slice of the block.
+
+        Bit-identical to ``rng.integers(0, n, size=k)`` called per
+        placement, as long as ``n`` stays constant (it does for a cell
+        run; a changed bound restarts the block).
+        """
+        if n != self._idx_bound:
+            self._idx_bound = n
+            self._idx_block = None
+        block = self._idx_block
+        if block is not None and self._idx_pos + k <= len(block):
+            out = block[self._idx_pos:self._idx_pos + k]
+            self._idx_pos += k
+            return out
+        out = np.empty(k, dtype=np.int64)
+        filled = 0
+        while filled < k:
+            if block is None or self._idx_pos >= len(block):
+                block = self.rng.integers(0, n, size=max(self.INDEX_BLOCK, k))
+                self._idx_block = block
+                self._idx_pos = 0
+            take = min(k - filled, len(block) - self._idx_pos)
+            out[filled:filled + take] = block[self._idx_pos:self._idx_pos + take]
+            self._idx_pos += take
+            filled += take
+        return out
+
+    def _admissible_mask(self, fleet: FleetState, idx: Optional[np.ndarray],
+                         request: Resources, constraint: str,
+                         code: int) -> np.ndarray:
+        """Vector admissibility over ``idx`` (or the whole fleet)."""
+        if idx is None:
+            up = fleet.up
+            a_cpu, a_mem = fleet.allocated_cpu, fleet.allocated_mem
+            adm_cpu, adm_mem = self._adm_cpu, self._adm_mem
+        else:
+            up = fleet.up[idx]
+            a_cpu, a_mem = fleet.allocated_cpu[idx], fleet.allocated_mem[idx]
+            adm_cpu, adm_mem = self._adm_cpu[idx], self._adm_mem[idx]
+        ok = (up
+              & (a_cpu + request.cpu <= adm_cpu)
+              & (a_mem + request.mem <= adm_mem))
+        if constraint:
+            codes = fleet.platform_code if idx is None else fleet.platform_code[idx]
+            ok = ok & (codes == code)
+        return ok
+
+    def _score_at(self, fleet: FleetState, idx: np.ndarray,
+                  request: Resources) -> np.ndarray:
+        """Vector best-fit scores for the machines at ``idx``."""
+        free_cpu = (self._headroom_cpu[idx]
+                    - fleet.allocated_cpu[idx] - request.cpu)
+        free_mem = (self._headroom_mem[idx]
+                    - fleet.allocated_mem[idx] - request.mem)
+        return np.maximum(free_cpu / self._den_cpu[idx],
+                          free_mem / self._den_mem[idx])
+
+    def find_machine(self, fleet: Union[FleetState, Sequence[Machine]],
+                     request: Resources,
                      constraint: str = "") -> Optional[Machine]:
         """Best-fit over a sampled candidate set; None if nothing admits.
 
         ``constraint``, when non-empty, restricts placement to machines of
-        that platform (a machine-attribute constraint).
+        that platform (a machine-attribute constraint).  Accepts either a
+        live :class:`FleetState` (the simulator's hot path) or a plain
+        machine sequence (snapshotted on the fly).
         """
-        obs.inc("sim.placement.attempts")
-        n = len(machines)
+        self._ctr_attempts.inc()
+        if not isinstance(fleet, FleetState):
+            fleet = FleetState(fleet, attach=False)
+        n = fleet.n
         if n == 0:
             return None
-        best: Optional[Machine] = None
-        best_score = float("inf")
+        self._fleet_consts(fleet)
+        code = fleet.platform_code_of(constraint) if constraint else -1
+        sampled: Optional[np.ndarray] = None
         if self.params.candidates < n:
             # Sampling with replacement: far cheaper than a permutation
             # draw, and an occasional duplicate candidate is harmless.
-            idx = self.rng.integers(0, n, size=self.params.candidates)
-            for i in idx:
-                m = machines[i]
-                if self._admissible(m, request, constraint):
-                    score = self._score(m, request)
-                    if score < best_score:
-                        best, best_score = m, score
-            if best is not None:
-                return best
+            # Admissibility and scoring are fused here so the candidate
+            # gather happens once; the arithmetic is identical to
+            # _admissible_mask/_score_at (and to the scalar reference).
+            idx = self._draw_indices(n, self.params.candidates)
+            alloc = fleet.alloc.take(idx, axis=1, out=self._ws_alloc,
+                                     mode="clip")
+            ok = fleet.up.take(idx, out=self._ws_up, mode="clip")
+            c6 = self._consts6.take(idx, axis=1, out=self._ws_c6, mode="clip")
+            req2 = self._req2
+            req2[0, 0] = request.cpu
+            req2[1, 0] = request.mem
+            total = np.add(alloc, req2, out=self._ws_sum)
+            fits = np.less_equal(total, c6[:2], out=self._ws_fits)
+            ok &= fits[0]
+            ok &= fits[1]
+            if constraint:
+                ok &= fleet.platform_code[idx] == code
+            free = np.subtract(c6[2:4], alloc, out=self._ws_free)
+            free -= req2
+            free /= c6[4:6]
+            scores = np.maximum(free[0], free[1], out=self._ws_scores)
+            # Masked argmin == argmin over the admissible subset: both
+            # return the first admissible candidate with the minimal
+            # score (inf never wins, ties break by order).  Admissible
+            # scores are always finite (den >= 1e-9), so a best score of
+            # inf means no candidate admitted — the same condition the
+            # fallback used to test with ok.any(), one reduction cheaper.
+            np.copyto(scores, np.inf,
+                      where=np.logical_not(ok, out=self._ws_nok))
+            best = int(scores.argmin())
+            if scores[best] < np.inf:
+                return fleet.machines[int(idx[best])]
+            sampled = idx
         # Sampled set failed: full scan so feasibility is never missed.
-        obs.inc("sim.placement.full_scans")
-        for m in machines:
-            if self._admissible(m, request, constraint):
-                score = self._score(m, request)
-                if score < best_score:
-                    best, best_score = m, score
-        return best
+        # The sampled indices were just proven inadmissible, so they are
+        # masked out instead of being examined a second time.
+        self._ctr_full_scans.inc()
+        ok = self._admissible_mask(fleet, None, request, constraint, code)
+        if sampled is not None:
+            ok[sampled] = False
+        hits = np.flatnonzero(ok)
+        if len(hits) == 0:
+            return None
+        best = hits[self._score_at(fleet, hits, request).argmin()]
+        return fleet.machines[int(best)]
 
-    def find_preemption(self, machines: Sequence[Machine], request: Resources,
-                        rank: int,
+    def find_preemption(self, fleet: Union[FleetState, Sequence[Machine]],
+                        request: Resources, rank: int,
                         constraint: str = "") -> Optional[Tuple[Machine, List[Instance]]]:
         """A machine where evicting lower-rank instances admits ``request``.
 
@@ -109,16 +297,18 @@ class PlacementPolicy:
         instances with tier rank strictly below ``rank`` are eligible —
         production never evicts production (section 2).
         """
-        obs.inc("sim.placement.preemption_searches")
+        self._ctr_preemptions.inc()
+        machines = fleet.machines if isinstance(fleet, FleetState) else fleet
         n = len(machines)
         if n == 0:
             return None
         # Preemption search is expensive (victim enumeration per machine);
         # sample a candidate set like placement does.
-        if n <= 24:
+        if n <= PREEMPTION_CANDIDATES:
             candidates = list(machines)
         else:
-            candidates = [machines[i] for i in self.rng.integers(0, n, size=24)]
+            candidates = [machines[i]
+                          for i in self._draw_indices(n, PREEMPTION_CANDIDATES)]
         best: Optional[Tuple[Machine, List[Instance]]] = None
         best_victims = float("inf")
         for m in candidates:
@@ -152,28 +342,56 @@ class PendingQueue:
     Production-tier work is always dispatched before best-effort work,
     which is what makes production scheduling delays the fastest in
     figure 10b.
+
+    Implemented as one FIFO deque per tier rank: ``push`` appends in
+    O(1), ``pop_batch`` drains rank buckets highest-rank-first (O(1)
+    amortized per item — no per-round re-sort of already-ordered items),
+    and ``remove_dead`` filters buckets in place instead of rebuilding
+    the whole queue.  Dispatch order is exactly the old sort order
+    ``(-tier.rank, arrival seq)``: within a rank bucket FIFO order *is*
+    arrival order, and buckets are visited by descending rank.
     """
 
     def __init__(self):
-        self._items: List[Tuple[int, int, Instance]] = []
-        self._seq = 0
+        self._buckets: Dict[int, Deque[Instance]] = {}
+        self._ranks: List[int] = []  # bucket keys, kept sorted descending
+        self._size = 0
 
     def push(self, instance: Instance) -> None:
-        self._items.append((-instance.tier.rank, self._seq, instance))
-        self._seq += 1
+        rank = instance.tier.rank
+        bucket = self._buckets.get(rank)
+        if bucket is None:
+            bucket = self._buckets[rank] = deque()
+            self._ranks.append(rank)
+            self._ranks.sort(reverse=True)
+        bucket.append(instance)
+        self._size += 1
 
     def pop_batch(self, limit: int) -> List[Instance]:
         """Remove and return up to ``limit`` instances in dispatch order."""
-        if not self._items:
+        if limit <= 0 or self._size == 0:
             return []
-        self._items.sort()
-        batch = [item[2] for item in self._items[:limit]]
-        del self._items[:limit]
+        batch: List[Instance] = []
+        for rank in self._ranks:
+            bucket = self._buckets[rank]
+            while bucket and len(batch) < limit:
+                batch.append(bucket.popleft())
+            if len(batch) >= limit:
+                break
+        self._size -= len(batch)
         return batch
 
     def remove_dead(self) -> None:
         """Drop instances whose collection already terminated."""
-        self._items = [it for it in self._items if not it[2].collection.is_done]
+        for rank in self._ranks:
+            bucket = self._buckets[rank]
+            if not bucket:
+                continue
+            alive = [i for i in bucket if not i.collection.is_done]
+            if len(alive) != len(bucket):
+                self._size -= len(bucket) - len(alive)
+                bucket.clear()
+                bucket.extend(alive)
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size

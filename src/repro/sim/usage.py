@@ -13,11 +13,21 @@ hard bound (usage never exceeds the limit) — paper section 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 import numpy as np
 
+from repro.sim.autopilot import AutopilotMode, AutopilotParams, limit_trajectory
+from repro.sim.priority import Tier
 from repro.util.timeutil import HOUR_SECONDS, SAMPLE_PERIOD_SECONDS
+
+#: Integer tier codes used in the packed usage arrays.  A tier's code
+#: IS its preemption rank — the simulator's hot path relies on this and
+#: writes ``tier.rank`` directly instead of hashing an enum key here.
+TIER_CODES = {tier: tier.rank for tier in Tier}
+TIER_FROM_CODE = {v: k for k, v in TIER_CODES.items()}
+AUTOPILOT_CODES = {"none": 0, "fully": 1, "constrained": 2}
+AUTOPILOT_FROM_CODE = {v: k for k, v in AUTOPILOT_CODES.items()}
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,216 @@ class UsageModel:
             "max_cpu": max_cpu,
             "avg_mem": avg_mem,
             "max_mem": max_mem,
+        }
+
+
+class _IntervalRecord(NamedTuple):
+    """One closed run interval, queued for batched sample materialization.
+
+    Every field is a scalar captured at stop time, so deferring the
+    sampling to the end of the run cannot observe later mutations.
+    """
+
+    is_alloc: bool
+    collection_id: int
+    instance_index: int
+    machine_id: int
+    tier_code: int
+    autopilot_code: int
+    in_alloc: bool
+    start: float
+    end: float
+    cpu_limit: float
+    mem_limit: float
+    cpu_fraction: float
+    mem_fraction: float
+
+
+class UsageBatch:
+    """Accumulates run intervals and materializes usage samples in bulk.
+
+    The simulator used to call :meth:`UsageModel.sample_interval` once per
+    closed run interval (tens of thousands of small numpy calls per cell).
+    ``UsageBatch`` instead records each interval as a scalar tuple and
+    generates all sample columns in one vectorized pass at finalize time.
+
+    Bit-exactness contract: the output is byte-identical to the
+    per-interval path.  Two things make that hold:
+
+    * The four RNG draws per task interval (cpu noise, cpu burst, mem
+      noise, mem burst) are issued per interval, in record order — the
+      exact call sequence the scalar path made.  They cannot be fused
+      into one large draw: ``lognormal`` routes through the generator's
+      internal ``exp``, which differs in ULPs from a vectorized
+      ``np.exp`` over a fused ``standard_normal`` block.
+    * All arithmetic keeps the scalar path's operation order (e.g.
+      ``(limit * fraction) * diurnal * noise``), with per-interval
+      scalars broadcast via ``np.repeat``.
+    """
+
+    COLUMNS = (
+        "collection_id", "instance_index", "machine_id", "tier_code",
+        "autopilot_code", "in_alloc", "window_start", "duration",
+        "avg_cpu", "max_cpu", "avg_mem", "max_mem", "cpu_limit", "mem_limit",
+    )
+
+    def __init__(self, model: UsageModel, autopilot: AutopilotParams):
+        self._model = model
+        self._autopilot = autopilot
+        self._records: List[_IntervalRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add_task(self, *, collection_id: int, instance_index: int,
+                 machine_id: int, tier_code: int, autopilot_code: int,
+                 in_alloc: bool, start: float, end: float,
+                 cpu_limit: float, mem_limit: float,
+                 cpu_fraction: float, mem_fraction: float) -> None:
+        """Queue a task run interval (samples drawn at finalize)."""
+        self._records.append(_IntervalRecord(
+            False, collection_id, instance_index, machine_id, tier_code,
+            autopilot_code, in_alloc, start, end, cpu_limit, mem_limit,
+            cpu_fraction, mem_fraction,
+        ))
+
+    def add_alloc(self, *, collection_id: int, instance_index: int,
+                  machine_id: int, tier_code: int, autopilot_code: int,
+                  start: float, end: float,
+                  cpu_limit: float, mem_limit: float) -> None:
+        """Queue an alloc-instance reservation interval (zero usage)."""
+        self._records.append(_IntervalRecord(
+            True, collection_id, instance_index, machine_id, tier_code,
+            autopilot_code, False, start, end, cpu_limit, mem_limit,
+            0.0, 0.0,
+        ))
+
+    def finalize(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Materialize all queued intervals into usage-sample columns."""
+        model = self._model
+        period = model.sample_period
+        records = self._records
+        if not records:
+            return {c: np.empty(0) for c in self.COLUMNS}
+
+        start_arr = np.array([r.start for r in records])
+        end_arr = np.array([r.end for r in records])
+        # The grid :meth:`UsageModel.window_starts` builds per interval
+        # is ``np.arange(first, end, period)``, which has
+        # ``ceil((end - first) / period)`` elements and equals
+        # ``first + k * period`` element-for-element — so the full
+        # concatenated grid can be produced directly, without an arange
+        # call per interval.
+        first = np.floor(start_arr / period) * period
+        counts = np.maximum(
+            np.ceil((end_arr - first) / period).astype(np.int64), 0)
+        n_rows = int(counts.sum())
+        if n_rows == 0:
+            return {c: np.empty(0) for c in self.COLUMNS}
+        row_offsets = np.cumsum(counts) - counts
+        within = np.arange(n_rows) - np.repeat(row_offsets, counts)
+        window_start = np.repeat(first, counts) + within * period
+
+        def rep(values, dtype) -> np.ndarray:
+            return np.repeat(np.asarray(values, dtype=dtype), counts)
+
+        start_rep = np.repeat(start_arr, counts)
+        end_rep = np.repeat(end_arr, counts)
+        duration = (np.minimum(window_start + period, end_rep)
+                    - np.maximum(window_start, start_rep))
+        cpu_limit = rep([r.cpu_limit for r in records], float)
+        mem_limit = rep([r.mem_limit for r in records], float)
+        avg_cpu = np.zeros(n_rows)
+        max_cpu = np.zeros(n_rows)
+        avg_mem = np.zeros(n_rows)
+        max_mem = np.zeros(n_rows)
+
+        task_j = [j for j, r in enumerate(records) if not r.is_alloc]
+        if task_j:
+            t_counts = counts[task_j]
+            t_count_list = t_counts.tolist()
+            n_task = int(t_counts.sum())
+            t_excl = np.cumsum(t_counts) - t_counts
+            task_rows = (np.repeat(row_offsets[task_j] - t_excl, t_counts)
+                         + np.arange(n_task))
+            noise = np.empty(n_task)
+            burst_raw = np.empty(n_task)
+            mem_noise = np.empty(n_task)
+            mem_burst_raw = np.empty(n_task)
+            p = model.params
+            lognormal, normal = rng.lognormal, rng.normal
+            noise_sigma = p.noise_sigma
+            mem_sigma = p.noise_sigma * 0.5
+            burst_mean, burst_sigma = p.burst_mean, p.burst_sigma
+            off = 0
+            for n in t_count_list:
+                if n == 0:
+                    # The per-interval path returned before drawing when
+                    # the grid was empty; consume nothing here either.
+                    continue
+                # Four draws per interval, record order: the scalar
+                # path's exact RNG call sequence (see class docstring).
+                end = off + n
+                noise[off:end] = lognormal(mean=0.0, sigma=noise_sigma, size=n)
+                burst_raw[off:end] = normal(burst_mean, burst_sigma, size=n)
+                mem_noise[off:end] = lognormal(mean=0.0, sigma=mem_sigma, size=n)
+                mem_burst_raw[off:end] = normal(1.05, 0.03, size=n)
+                off = end
+
+            diurnal = model._diurnal(window_start[task_rows] + period / 2.0)
+            cl = np.array([records[j].cpu_limit for j in task_j])
+            ml = np.array([records[j].mem_limit for j in task_j])
+            cf = np.array([records[j].cpu_fraction for j in task_j])
+            mf = np.array([records[j].mem_fraction for j in task_j])
+            cpu_cap = np.repeat(cl * p.cpu_overage_factor, t_counts)
+            avg_c = np.clip(np.repeat(cl * cf, t_counts) * diurnal * noise,
+                            0.0, cpu_cap)
+            burst = np.maximum(1.0, burst_raw)
+            max_c = np.clip(avg_c * burst, avg_c, cpu_cap)
+            ml_rep = np.repeat(ml, t_counts)
+            avg_m = np.clip(np.repeat(ml * mf, t_counts) * mem_noise,
+                            0.0, ml_rep)
+            mem_burst = np.maximum(1.0, mem_burst_raw)
+            max_m = np.clip(avg_m * mem_burst, avg_m, ml_rep)
+
+            # Autopilot limit trajectories are causal *within* one run
+            # interval, so they stay per-interval; mode NONE (the common
+            # case) is just the repeated request limit, already in place.
+            cpu_lim_t = np.repeat(cl, t_counts)
+            mem_lim_t = np.repeat(ml, t_counts)
+            toff = 0
+            for j, n in zip(task_j, t_count_list):
+                r = records[j]
+                if r.autopilot_code:
+                    mode = AutopilotMode(AUTOPILOT_FROM_CODE[r.autopilot_code])
+                    cpu_lim_t[toff:toff + n] = limit_trajectory(
+                        mode, r.cpu_limit, max_c[toff:toff + n], self._autopilot)
+                    mem_lim_t[toff:toff + n] = limit_trajectory(
+                        mode, r.mem_limit, max_m[toff:toff + n], self._autopilot)
+                toff += n
+
+            avg_cpu[task_rows] = avg_c
+            max_cpu[task_rows] = max_c
+            avg_mem[task_rows] = avg_m
+            max_mem[task_rows] = max_m
+            cpu_limit[task_rows] = cpu_lim_t
+            mem_limit[task_rows] = mem_lim_t
+
+        return {
+            "collection_id": rep([r.collection_id for r in records], np.int64),
+            "instance_index": rep([r.instance_index for r in records], np.int32),
+            "machine_id": rep([r.machine_id for r in records], np.int32),
+            "tier_code": rep([r.tier_code for r in records], np.int8),
+            "autopilot_code": rep([r.autopilot_code for r in records], np.int8),
+            "in_alloc": rep([r.in_alloc for r in records], bool),
+            "window_start": window_start,
+            "duration": duration,
+            "avg_cpu": avg_cpu,
+            "max_cpu": max_cpu,
+            "avg_mem": avg_mem,
+            "max_mem": max_mem,
+            "cpu_limit": cpu_limit,
+            "mem_limit": mem_limit,
         }
 
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sim.cell import AUTOPILOT_FROM_CODE, CellResult, TIER_FROM_CODE
+from repro.sim.cell import CellResult
+from repro.sim.usage import AUTOPILOT_FROM_CODE, TIER_FROM_CODE
 from repro.table import Column, Table
 from repro.trace.dataset import TraceDataset
 from repro.trace.schema import empty_table, ordered_columns

@@ -16,6 +16,7 @@ tail exponent, so Table 2's alphas survive the scaling.
 
 from __future__ import annotations
 
+import gc
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -390,6 +391,18 @@ class WorkloadGenerator:
 
     def generate(self) -> List[Collection]:
         """Produce the cell's full workload, sorted by submit time."""
+        # Same GC deferral as CellSim.run: generation builds one big live
+        # graph of collections and instances, so cyclic-GC passes during
+        # it scan everything and reclaim nothing.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            return self._generate()
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _generate(self) -> List[Collection]:
         arrivals: List[Tuple[float, Tier, float, bool]] = []
         for tier in self.era.tiers:
             times = self._arrival_times(self._tier_rate_per_hour(tier))

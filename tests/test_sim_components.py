@@ -110,6 +110,79 @@ class TestPendingQueue:
         q.remove_dead()
         assert len(q) == 0
 
+    def test_strict_tier_order_all_tiers(self):
+        # Dispatch visits rank buckets strictly highest-rank-first, no
+        # matter the arrival order of the tiers.
+        q = PendingQueue()
+        arrival = [Tier.BEB, Tier.MONITORING, Tier.FREE, Tier.PROD, Tier.MID]
+        for cid, tier in enumerate(arrival, start=1):
+            q.push(_collection(tier, cid, n=1).instances[0])
+        ranks = [inst.tier.rank for inst in q.pop_batch(10)]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_fifo_within_tier_across_collections(self):
+        # Within one rank bucket, dispatch order is exactly arrival
+        # order — even when pushes from different collections interleave.
+        q = PendingQueue()
+        a = _collection(Tier.BEB, 1, n=3).instances
+        b = _collection(Tier.BEB, 2, n=3).instances
+        pushed = [a[0], b[0], a[1], b[1], a[2], b[2]]
+        for inst in pushed:
+            q.push(inst)
+        assert q.pop_batch(10) == pushed
+
+    def test_pop_batch_spans_rank_boundary(self):
+        # A limit cutting across buckets takes the whole higher bucket
+        # first; the remainder keeps FIFO order for the next round.
+        q = PendingQueue()
+        prod = _collection(Tier.PROD, 1, n=2).instances
+        beb = _collection(Tier.BEB, 2, n=3).instances
+        for inst in beb + prod:
+            q.push(inst)
+        assert q.pop_batch(3) == [prod[0], prod[1], beb[0]]
+        assert q.pop_batch(10) == [beb[1], beb[2]]
+        assert len(q) == 0
+
+    def test_remove_dead_keeps_live_fifo_order(self):
+        q = PendingQueue()
+        dead = _collection(Tier.BEB, 1, n=2)
+        live = _collection(Tier.BEB, 2, n=2)
+        q.push(dead.instances[0])
+        q.push(live.instances[0])
+        q.push(dead.instances[1])
+        q.push(live.instances[1])
+        dead.end_reason = EndReason.KILL
+        q.remove_dead()
+        assert len(q) == 2
+        assert q.pop_batch(10) == list(live.instances)
+
+    def test_dispatch_order_matches_sort_reference(self):
+        # Randomized pushes: pop order must equal the old implementation's
+        # sort key (-tier.rank, arrival sequence).
+        rng = np.random.default_rng(8)
+        tiers = [Tier.FREE, Tier.BEB, Tier.MID, Tier.PROD, Tier.MONITORING]
+        q = PendingQueue()
+        pushed = []
+        for cid in range(40):
+            tier = tiers[int(rng.integers(0, len(tiers)))]
+            inst = _collection(tier, cid, n=1).instances[0]
+            q.push(inst)
+            pushed.append(inst)
+        expected = [inst for _, inst in sorted(
+            enumerate(pushed), key=lambda p: (-p[1].tier.rank, p[0]))]
+        got = []
+        while len(q):
+            got.extend(q.pop_batch(7))
+        assert got == expected
+
+    def test_pop_batch_zero_and_empty(self):
+        q = PendingQueue()
+        assert q.pop_batch(0) == []
+        assert q.pop_batch(5) == []
+        q.push(_collection(Tier.BEB, 1, n=1).instances[0])
+        assert q.pop_batch(0) == []
+        assert len(q) == 1
+
 
 class TestBatchQueue:
     def _queue(self, cpu_target=0.5, mem_target=0.5):
