@@ -21,16 +21,22 @@ query
     from the command line, optionally over multiple worker processes.
 stats
     Render a ``repro.obs`` run report (written with ``--obs-out`` on
-    ``simulate`` or ``query``) as text or JSON.
+    ``simulate`` or ``query``) or a flight-recorder frames file
+    (written with ``--record``) as text or JSON.
+bench
+    Compare the current benchmark run against the committed
+    ``BENCH_history/`` (noise-aware, exits nonzero on regression), or
+    append a run to the history.
 lint
     Run the repo's AST-based static-analysis pass (schema consistency,
-    determinism, fork safety, exception hygiene, unit discipline) over
-    source files or directories.
+    determinism, fork safety, exception hygiene, unit discipline, hot-
+    loop guards) over source files or directories.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import sys
 import time
@@ -41,6 +47,22 @@ from repro import obs
 from repro.analysis.report import full_report
 from repro.lint import iter_python_files, lint_file
 from repro.lint import render as render_lint
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.recorder import (
+    FRAMES_SCHEMA,
+    DEFAULT_INTERVAL as DEFAULT_RECORD_INTERVAL,
+    FrameSchemaError,
+    RunRecorder,
+    iter_frames,
+    render_frames,
+)
+from repro.obs.regress import (
+    DEFAULT_NOISE_FACTOR,
+    DEFAULT_THRESHOLD,
+    BenchDataError,
+    append_history,
+    compare_files,
+)
 from repro.sim.driver import run_cells
 from repro.store import (
     Agg,
@@ -65,10 +87,11 @@ def _add_obs_out_arg(parser: argparse.ArgumentParser) -> None:
                              "'borg-repro stats'")
 
 
-def _write_obs_report(args, command: str, meta: dict) -> None:
+def _write_obs_report(args, command: str, meta: dict,
+                      profile: Optional[dict] = None) -> None:
     if not args.obs_out:
         return
-    obs.write_report(args.obs_out, command=command, meta=meta)
+    obs.write_report(args.obs_out, command=command, meta=meta, profile=profile)
     print(f"obs report written to {args.obs_out}", file=sys.stderr)
 
 
@@ -99,31 +122,59 @@ def _simulate(args) -> int:
                                             horizon_hours=args.hours,
                                             arrival_scale=args.scale,
                                             cells=[name])[0])
-    t0 = time.perf_counter()
-    results = run_cells(scenarios, workers=args.workers)
-    t_sim = time.perf_counter() - t0
-    parallel = args.workers and args.workers > 1 and len(scenarios) > 1
-    mode = (f"{min(args.workers, len(scenarios))} workers" if parallel
-            else "serial")
-    # Batch wall clock + per-cell row counts, so benchmark regressions
-    # in the simulator or the writer are visible straight from the CLI.
-    print(f"{len(results)} cell(s) simulated in {t_sim:.1f}s ({mode})")
-    for scenario, result in zip(scenarios, results):
-        name = scenario.name
-        t1 = time.perf_counter()
-        trace = encode_cell(result)
-        save_trace(trace, out / name, format=args.format)
-        t_save = time.perf_counter() - t1
-        rows = {tname: len(t) for tname, t in trace.tables.items()}
-        print(f"cell {name}: encoded + saved ({args.format}) "
-              f"in {t_save:.1f}s -> {out / name}")
-        print(f"cell {name}: rows written: total={sum(rows.values())} "
-              + " ".join(f"{tname}={n}" for tname, n in rows.items()))
-    _write_obs_report(args, "simulate",
-                      {"cells": ",".join(cells), "machines": args.machines,
-                       "hours": args.hours, "scale": args.scale,
-                       "seed": args.seed, "format": args.format,
-                       "workers": args.workers})
+    meta = {"cells": ",".join(cells), "machines": args.machines,
+            "hours": args.hours, "scale": args.scale,
+            "seed": args.seed, "format": args.format,
+            "workers": args.workers}
+    record: Optional[RunRecorder] = None
+    if args.record:
+        record = RunRecorder(args.record, interval=args.record_interval)
+    profiler: Optional[SamplingProfiler] = None
+    profile_payload: Optional[dict] = None
+    if args.profile:
+        profiler = SamplingProfiler()
+        profiler.start()
+    try:
+        t0 = time.perf_counter()
+        results = run_cells(scenarios, workers=args.workers, record=record)
+        t_sim = time.perf_counter() - t0
+        if record is not None:
+            record.status.close()
+        parallel = args.workers and args.workers > 1 and len(scenarios) > 1
+        mode = (f"{min(args.workers, len(scenarios))} workers" if parallel
+                else "serial")
+        # Batch wall clock + per-cell row counts, so benchmark regressions
+        # in the simulator or the writer are visible straight from the CLI.
+        print(f"{len(results)} cell(s) simulated in {t_sim:.1f}s ({mode})")
+        for scenario, result in zip(scenarios, results):
+            name = scenario.name
+            t1 = time.perf_counter()
+            trace = encode_cell(result)
+            save_trace(trace, out / name, format=args.format)
+            t_save = time.perf_counter() - t1
+            rows = {tname: len(t) for tname, t in trace.tables.items()}
+            print(f"cell {name}: encoded + saved ({args.format}) "
+                  f"in {t_save:.1f}s -> {out / name}")
+            print(f"cell {name}: rows written: total={sum(rows.values())} "
+                  + " ".join(f"{tname}={n}" for tname, n in rows.items()))
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    if profiler is not None:
+        stacks = profiler.write_collapsed(args.profile)
+        print(f"profile: {profiler.sample_count} samples "
+              f"({profiler.engine} engine) -> {args.profile} "
+              f"({stacks} collapsed stack(s))", file=sys.stderr)
+        profile_payload = profiler.to_dict()
+    if record is not None:
+        # The final frame is sampled after trace encoding, at the same
+        # point the obs report is written, so their counters agree.
+        record.finalize("simulate", meta)
+        record.close()
+        print(f"frames written to {record.sink.path} "
+              f"({record.sink.frames_written} frame(s)); render with "
+              "'borg-repro stats'", file=sys.stderr)
+    _write_obs_report(args, "simulate", meta, profile=profile_payload)
     return 0
 
 
@@ -257,16 +308,75 @@ def _query(args) -> int:
 
 
 def _stats(args) -> int:
+    """Render either supported ``repro.obs`` file format.
+
+    A run report (``repro.obs/1``) is one indented JSON object; a
+    flight-recorder frames file (``repro.obs.frames/1``) is JSONL with
+    one frame per line.  Anything else — including a *future*
+    ``repro.obs*`` schema this build does not know — is a clean error
+    on stderr and exit code 2, never a traceback.
+    """
     try:
-        report = obs.load_report(args.report)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        with open(args.report, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None  # multi-line JSONL (or garbage): handled below
+    if isinstance(payload, dict) and payload.get("schema") == obs.SCHEMA:
+        if args.format == "json":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            sys.stdout.write(obs.render_report(payload))
+        return 0
+    if isinstance(payload, dict) and payload.get("schema") != FRAMES_SCHEMA:
+        print(f"stats: {args.report}: unsupported repro.obs schema "
+              f"{payload.get('schema')!r} (this build renders "
+              f"{obs.SCHEMA!r} reports and {FRAMES_SCHEMA!r} frames)",
+              file=sys.stderr)
+        return 2
+    try:
+        frames = list(iter_frames(io.StringIO(text), source=str(args.report)))
+    except FrameSchemaError as exc:
         print(f"stats: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
-        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        json.dump(frames, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
-        sys.stdout.write(obs.render_report(report))
+        sys.stdout.write(render_frames(frames))
+    return 0
+
+
+def _bench_compare(args) -> int:
+    try:
+        result = compare_files(args.current, args.history,
+                               threshold=args.threshold,
+                               noise_factor=args.noise_factor,
+                               last=args.last)
+    except BenchDataError as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(result.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"verdict written to {args.json_out}", file=sys.stderr)
+    sys.stdout.write(result.render())
+    return 0 if result.passed else 1
+
+
+def _bench_append(args) -> int:
+    try:
+        entry = append_history(args.history, args.current, label=args.label)
+    except (OSError, ValueError) as exc:
+        print(f"bench append: {exc}", file=sys.stderr)
+        return 2
+    print(f"history entry written: {entry}")
     return 0
 
 
@@ -303,6 +413,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--workers", type=int, default=None,
                        help="worker processes for the parallel multi-cell "
                             "driver (default: serial; one cell per task)")
+    p_sim.add_argument("--record", nargs="?", const="frames.jsonl",
+                       default=None, metavar="FRAMES.jsonl",
+                       help="stream flight-recorder frames (one JSONL frame "
+                            "per simulated interval per cell) to this file "
+                            "(default frames.jsonl); render with "
+                            "'borg-repro stats'")
+    p_sim.add_argument("--record-interval", type=float,
+                       default=DEFAULT_RECORD_INTERVAL, metavar="SECONDS",
+                       help="simulated seconds between frames "
+                            "(default: one hour)")
+    p_sim.add_argument("--profile", nargs="?", const="profile.collapsed",
+                       default=None, metavar="STACKS.collapsed",
+                       help="sample the run with the zero-dependency "
+                            "profiler and write collapsed stacks here "
+                            "(default profile.collapsed); the hot-function "
+                            "table lands in --obs-out")
     _add_scale_args(p_sim)
     _add_obs_out_arg(p_sim)
     p_sim.set_defaults(func=_simulate)
@@ -352,14 +478,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.set_defaults(func=_query)
 
     p_stats = sub.add_parser(
-        "stats", help="render a repro.obs run report (see --obs-out)")
-    p_stats.add_argument("report", help="report JSON written with --obs-out")
+        "stats", help="render a repro.obs run report (--obs-out) or a "
+                      "flight-recorder frames file (--record)")
+    p_stats.add_argument("report", help="report JSON written with --obs-out, "
+                                        "or frames JSONL written with --record")
     p_stats.add_argument("--format", choices=("text", "json"), default="text",
                          help="output format (default text)")
     p_stats.set_defaults(func=_stats)
 
+    p_bench = sub.add_parser(
+        "bench", help="noise-aware benchmark comparison and history")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_cmp = bench_sub.add_parser(
+        "compare", help="diff a benchmark run against BENCH_history/ "
+                        "(exit 1 on regression, 2 on bad input)")
+    p_cmp.add_argument("current",
+                       help="pytest-benchmark JSON of the current run")
+    p_cmp.add_argument("--history", default="BENCH_history",
+                       help="history directory (default BENCH_history)")
+    p_cmp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="relative regression threshold "
+                            f"(default {DEFAULT_THRESHOLD:g})")
+    p_cmp.add_argument("--noise-factor", type=float,
+                       default=DEFAULT_NOISE_FACTOR,
+                       help="historical-spread multiplier widening the gate "
+                            f"(default {DEFAULT_NOISE_FACTOR:g})")
+    p_cmp.add_argument("--last", type=int, default=0,
+                       help="compare against only the last N history "
+                            "entries (default: all)")
+    p_cmp.add_argument("--json-out", default=None, metavar="VERDICT.json",
+                       help="also write the machine-readable verdict here")
+    p_cmp.set_defaults(func=_bench_compare)
+    p_app = bench_sub.add_parser(
+        "append", help="compact a benchmark run into the next numbered "
+                       "history entry")
+    p_app.add_argument("current",
+                       help="pytest-benchmark JSON of the run to record")
+    p_app.add_argument("--history", default="BENCH_history",
+                       help="history directory (default BENCH_history)")
+    p_app.add_argument("--label", default=None,
+                       help="entry label (default: the run's short commit)")
+    p_app.set_defaults(func=_bench_append)
+
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis rules (RPR001-RPR006)")
+        "lint", help="run the repo's static-analysis rules (RPR001-RPR007)")
     p_lint.add_argument("paths", nargs="+",
                         help="files or directories to lint (e.g. src/)")
     p_lint.add_argument("--format", choices=("text", "json"), default="text",

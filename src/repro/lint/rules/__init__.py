@@ -14,6 +14,9 @@ RPR005  unit discipline — resource/time magnitudes go through the named
 RPR006  obs discipline — span names handed to repro.obs.span/traced must
         be literal strings, so the span-tree structure stays a pure
         function of control flow.
+RPR007  hot-loop guards — recorder/profiler calls inside repro.sim loops
+        must sit behind an if-guard naming the handle, keeping opt-in
+        telemetry off the per-event path of unrecorded runs.
 
 Adding a rule: create a module here defining a :class:`repro.lint.Rule`
 subclass with the next free ``RPR`` id, decorate it with
@@ -25,6 +28,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     exception_hygiene,
     fork_safety,
+    hot_loop_guards,
     obs_discipline,
     schema_consistency,
     unit_discipline,

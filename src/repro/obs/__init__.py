@@ -27,6 +27,20 @@ serial and parallel runs agree on every counter.
 
 import functools
 
+from repro.obs.profiler import PROFILE_SCHEMA, SamplingProfiler
+from repro.obs.recorder import (
+    FRAMES_SCHEMA,
+    CellRecorder,
+    FrameSchemaError,
+    FrameSink,
+    RunRecorder,
+    StatusLine,
+    frames_fingerprint,
+    read_frames,
+    recover_jsonl,
+    render_frames,
+    strip_volatile,
+)
 from repro.obs.registry import (
     Counter,
     MetricsRegistry,
@@ -105,20 +119,32 @@ def reset() -> None:
 
 
 __all__ = [
+    "CellRecorder",
     "Counter",
+    "FRAMES_SCHEMA",
+    "FrameSchemaError",
+    "FrameSink",
     "MetricsRegistry",
+    "PROFILE_SCHEMA",
+    "RunRecorder",
     "SCHEMA",
+    "SamplingProfiler",
     "Snapshot",
     "Span",
     "SpanNode",
+    "StatusLine",
     "TimingHistogram",
     "counter",
     "current_span_node",
+    "frames_fingerprint",
     "gauge",
     "get_registry",
     "inc",
     "load_report",
     "observe",
+    "read_frames",
+    "recover_jsonl",
+    "render_frames",
     "render_report",
     "reset",
     "run_report",
@@ -127,6 +153,7 @@ __all__ = [
     "snapshot",
     "snapshot_report",
     "span",
+    "strip_volatile",
     "timer",
     "traced",
     "write_report",

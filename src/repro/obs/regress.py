@@ -1,0 +1,316 @@
+"""Noise-aware performance-regression detection over benchmark history.
+
+``BENCH_simulator.json`` (written by the ``simulator-bench`` CI job
+since PR 4) records the simulator's throughput, but until this module
+nothing ever *read* it — the perf trajectory was ungated.  ``borg-repro
+bench compare`` closes the loop: it diffs the current benchmark run
+against a committed history (``BENCH_history/``) and exits nonzero on a
+regression, so a slowdown fails CI instead of silently accumulating.
+
+Methodology (DESIGN.md §11):
+
+* **Minimum-of-rounds statistic.**  Wall-clock benchmark numbers on
+  shared machines are the true cost plus nonnegative noise (scheduler
+  preemption, thermal drift, cache pollution), so the *minimum* over a
+  run's interleaved rounds is the best available estimator of the true
+  cost; means and medians move with the noise floor.  The comparison
+  statistic is ``min(current rounds)`` against ``min over history of
+  min(rounds)`` — the same interleaved-minima discipline PR 4 used for
+  its A/B measurements, applied across commits.
+* **Relative threshold with a noise band.**  A benchmark regresses when
+  ``current_min > baseline_min * (1 + threshold)``.  The threshold is
+  the larger of the configured relative threshold (default 10%) and the
+  observed historical spread of that benchmark's minima scaled by a
+  noise factor — the gate never fires inside the band the history
+  itself demonstrates to be noise.  An injected 20% slowdown is flagged
+  at the default settings; an unchanged re-run passes.
+* **Compact history entries.**  History files store only what the
+  comparison needs (per-benchmark round data and summary stats, commit
+  id, timestamp) in the ``repro.bench/1`` schema, so a growing history
+  stays reviewable in diffs; ``bench append`` compacts a raw
+  pytest-benchmark JSON into the next numbered entry.
+
+Exit-code contract (the CI gate): 0 pass, 1 regression, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Compact history-entry schema (bump on incompatible layout changes).
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Verdict JSON schema (the CI artifact).
+VERDICT_SCHEMA = "repro.bench.verdict/1"
+
+#: Default relative regression threshold (10%): trips on a 20% slowdown,
+#: tolerates round-to-round jitter on an unchanged build.
+DEFAULT_THRESHOLD = 0.10
+
+#: Historical spread is scaled by this factor when widening the band.
+DEFAULT_NOISE_FACTOR = 1.5
+
+#: History filenames: ``00012-abc1234.json`` (index, short label).
+_HISTORY_RE = re.compile(r"^(\d{5})-(.+)\.json$")
+
+
+class BenchDataError(ValueError):
+    """A benchmark file that cannot be read or has no usable stats."""
+
+
+# ---------------------------------------------------------------------------
+# loading / compaction
+# ---------------------------------------------------------------------------
+
+def _normalize(payload: dict, source: str) -> dict:
+    """Either accepted format -> ``{name: {"min":…, "data": […]}}`` map.
+
+    Accepts raw pytest-benchmark JSON (a ``benchmarks`` list of objects
+    with ``stats``) and the compact ``repro.bench/1`` form; everything
+    else is a :class:`BenchDataError`.
+    """
+    if payload.get("schema") == BENCH_SCHEMA:
+        benchmarks = payload.get("benchmarks")
+        if not isinstance(benchmarks, dict) or not benchmarks:
+            raise BenchDataError(f"{source}: compact entry has no benchmarks")
+        return {str(k): dict(v) for k, v in benchmarks.items()}
+    entries = payload.get("benchmarks")
+    if not isinstance(entries, list) or not entries:
+        raise BenchDataError(
+            f"{source}: neither a pytest-benchmark JSON nor a "
+            f"{BENCH_SCHEMA} entry (no benchmarks found)")
+    out: Dict[str, dict] = {}
+    for entry in entries:
+        stats = entry.get("stats") or {}
+        name = entry.get("name") or entry.get("fullname")
+        if not name or "min" not in stats:
+            continue
+        out[str(name)] = {
+            "min": float(stats["min"]),
+            "median": float(stats.get("median", stats["min"])),
+            "mean": float(stats.get("mean", stats["min"])),
+            "stddev": float(stats.get("stddev", 0.0)),
+            "rounds": int(stats.get("rounds", len(stats.get("data", [])) or 1)),
+            "data": [float(x) for x in stats.get("data", [])],
+        }
+    if not out:
+        raise BenchDataError(f"{source}: no benchmark entries with stats")
+    return out
+
+
+def load_bench(path: Union[str, os.PathLike]) -> dict:
+    """Load a benchmark file (either format) into the normalized map."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BenchDataError(f"{path}: {exc}") from exc
+    except ValueError as exc:
+        raise BenchDataError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise BenchDataError(f"{path}: not a JSON object")
+    return _normalize(payload, str(path))
+
+
+def compact_bench(path: Union[str, os.PathLike],
+                  label: Optional[str] = None) -> dict:
+    """A raw benchmark JSON compacted into a ``repro.bench/1`` entry."""
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    commit = (payload.get("commit_info") or {}).get("id", "")
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label or (commit[:7] if commit else path.stem),
+        "commit": commit,
+        "datetime": payload.get("datetime", ""),
+        "machine": (payload.get("machine_info") or {}).get("node", ""),
+        "benchmarks": _normalize(payload, str(path)),
+    }
+
+
+def history_entries(directory: Union[str, os.PathLike]) -> List[Path]:
+    """The history files of ``directory``, oldest first (by index)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in directory.iterdir():
+        match = _HISTORY_RE.match(path.name)
+        if match:
+            entries.append((int(match.group(1)), path))
+    return [path for _, path in sorted(entries)]
+
+
+def load_history(directory: Union[str, os.PathLike],
+                 last: int = 0) -> List[dict]:
+    """Normalized benchmark maps of the (last N) history entries."""
+    paths = history_entries(directory)
+    if last > 0:
+        paths = paths[-last:]
+    return [load_bench(path) for path in paths]
+
+
+def append_history(directory: Union[str, os.PathLike],
+                   bench_path: Union[str, os.PathLike],
+                   label: Optional[str] = None) -> Path:
+    """Compact ``bench_path`` into the next numbered history entry."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    existing = history_entries(directory)
+    next_index = 1
+    if existing:
+        next_index = int(_HISTORY_RE.match(existing[-1].name).group(1)) + 1
+    entry = compact_bench(bench_path, label=label)
+    out = directory / f"{next_index:05d}-{entry['label']}.json"
+    out.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+def robust_min(stats: dict) -> float:
+    """The run's comparison statistic: minimum over its rounds."""
+    data = stats.get("data") or []
+    if data:
+        return min(float(x) for x in data)
+    return float(stats["min"])
+
+
+@dataclass
+class BenchVerdict:
+    """One benchmark's comparison outcome."""
+
+    name: str
+    status: str  # "ok" | "regression" | "improvement" | "new" | "missing"
+    current_min: Optional[float] = None
+    baseline_min: Optional[float] = None
+    ratio: Optional[float] = None
+    threshold: Optional[float] = None
+    history_runs: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "current_min": self.current_min,
+            "baseline_min": self.baseline_min,
+            "ratio": self.ratio,
+            "threshold": self.threshold,
+            "history_runs": self.history_runs,
+        }
+
+
+@dataclass
+class CompareResult:
+    """The whole comparison: per-benchmark verdicts + the overall call."""
+
+    verdicts: List[BenchVerdict] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+    noise_factor: float = DEFAULT_NOISE_FACTOR
+    history_runs: int = 0
+
+    @property
+    def regressions(self) -> List[BenchVerdict]:
+        return [v for v in self.verdicts if v.status == "regression"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": VERDICT_SCHEMA,
+            "passed": self.passed,
+            "threshold": self.threshold,
+            "noise_factor": self.noise_factor,
+            "history_runs": self.history_runs,
+            "benchmarks": [v.to_dict() for v in self.verdicts],
+        }
+
+    def render(self) -> str:
+        lines = [f"bench compare  ({len(self.verdicts)} benchmark(s) vs "
+                 f"{self.history_runs} history run(s), "
+                 f"threshold {self.threshold:.0%}, "
+                 f"noise factor {self.noise_factor:g})"]
+        for v in self.verdicts:
+            if v.current_min is None or v.baseline_min is None:
+                lines.append(f"  {v.status.upper():<11s} {v.name}")
+                continue
+            lines.append(
+                f"  {v.status.upper():<11s} {v.name}: "
+                f"{v.current_min * 1e3:.1f}ms vs baseline "
+                f"{v.baseline_min * 1e3:.1f}ms "
+                f"(x{v.ratio:.3f}, gate at x{1.0 + (v.threshold or 0):.3f})")
+        lines.append("PASS" if self.passed else
+                     f"FAIL: {len(self.regressions)} regression(s)")
+        return "\n".join(lines) + "\n"
+
+
+def compare(current: dict, history: Sequence[dict],
+            threshold: float = DEFAULT_THRESHOLD,
+            noise_factor: float = DEFAULT_NOISE_FACTOR) -> CompareResult:
+    """Compare a normalized current run against normalized history runs.
+
+    Per benchmark: the baseline is the best (smallest) minimum any
+    history run achieved; the gate widens beyond ``threshold`` when the
+    history's own minima are spread wider than the threshold (noise
+    band).  Benchmarks new in the current run are reported ``new`` and
+    never fail; benchmarks that disappeared are reported ``missing``
+    and never fail (removals are reviewable in the diff that removed
+    them).
+    """
+    if not history:
+        raise BenchDataError("no history to compare against "
+                             "(seed it with 'bench append')")
+    result = CompareResult(threshold=threshold, noise_factor=noise_factor,
+                           history_runs=len(history))
+    baseline_names = set()
+    for run in history:
+        baseline_names.update(run.keys())
+    for name in sorted(set(current) | baseline_names):
+        stats = current.get(name)
+        if stats is None:
+            result.verdicts.append(BenchVerdict(name, "missing",
+                                                history_runs=len(history)))
+            continue
+        mins = [robust_min(run[name]) for run in history if name in run]
+        if not mins:
+            result.verdicts.append(BenchVerdict(name, "new",
+                                                history_runs=0))
+            continue
+        baseline = min(mins)
+        spread = (max(mins) - min(mins)) / baseline if len(mins) > 1 else 0.0
+        gate = max(threshold, noise_factor * spread)
+        current_min = robust_min(stats)
+        ratio = current_min / baseline
+        if ratio > 1.0 + gate:
+            status = "regression"
+        elif ratio < 1.0 - gate:
+            status = "improvement"
+        else:
+            status = "ok"
+        result.verdicts.append(BenchVerdict(
+            name, status, current_min=current_min, baseline_min=baseline,
+            ratio=round(ratio, 4), threshold=round(gate, 4),
+            history_runs=len(mins)))
+    return result
+
+
+def compare_files(current_path: Union[str, os.PathLike],
+                  history_dir: Union[str, os.PathLike],
+                  threshold: float = DEFAULT_THRESHOLD,
+                  noise_factor: float = DEFAULT_NOISE_FACTOR,
+                  last: int = 0) -> CompareResult:
+    """File-level convenience wrapper used by the CLI and CI."""
+    current = load_bench(current_path)
+    history = load_history(history_dir, last=last)
+    return compare(current, history, threshold=threshold,
+                   noise_factor=noise_factor)

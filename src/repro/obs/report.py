@@ -36,8 +36,15 @@ def _empty_section() -> dict:
 
 
 def run_report(command: str = "", meta: Optional[dict] = None,
-               registry: Optional[MetricsRegistry] = None) -> dict:
-    """The full run report of ``registry`` (default: the current one)."""
+               registry: Optional[MetricsRegistry] = None,
+               profile: Optional[dict] = None) -> dict:
+    """The full run report of ``registry`` (default: the current one).
+
+    ``profile`` is an optional sampling-profiler payload
+    (:meth:`repro.obs.profiler.SamplingProfiler.to_dict`); when given it
+    is embedded under the report's ``"profile"`` key and rendered as a
+    hot-function table by ``borg-repro stats``.
+    """
     snapshot = (registry or get_registry()).snapshot()
     sections: Dict[str, dict] = {name: _empty_section()
                                  for name in CORE_SECTIONS}
@@ -51,20 +58,25 @@ def run_report(command: str = "", meta: Optional[dict] = None,
         summary = TimingHistogram.from_dict(data).summary()
         sections.setdefault(_section_of(name), _empty_section())[
             "timers"][name] = summary
-    return {
+    report = {
         "schema": SCHEMA,
         "command": command,
         "meta": dict(meta or {}),
         "sections": sections,
         "spans": snapshot.spans,
     }
+    if profile is not None:
+        report["profile"] = dict(profile)
+    return report
 
 
 def write_report(path: Union[str, os.PathLike], command: str = "",
                  meta: Optional[dict] = None,
-                 registry: Optional[MetricsRegistry] = None) -> dict:
+                 registry: Optional[MetricsRegistry] = None,
+                 profile: Optional[dict] = None) -> dict:
     """Write :func:`run_report` to ``path`` as stable, diffable JSON."""
-    report = run_report(command=command, meta=meta, registry=registry)
+    report = run_report(command=command, meta=meta, registry=registry,
+                        profile=profile)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -111,6 +123,22 @@ def render_report(report: dict) -> str:
     if meta:
         rendered = "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
         lines.append(f"meta: {rendered}")
+
+    profile = report.get("profile") or {}
+    if profile:
+        lines.append("")
+        lines.append(f"profile ({profile.get('engine', '?')} engine, "
+                     f"{profile.get('samples', 0)} samples, "
+                     f"interval {profile.get('interval_s', 0.0):g}s):")
+        lines.append(f"  {'self%':>6s} {'cum%':>6s} {'self':>7s} "
+                     f"{'cum':>7s}  function")
+        for row in profile.get("hot", [])[:20]:
+            lines.append(f"  {row.get('self_pct', 0.0):>6.1f} "
+                         f"{row.get('cum_pct', 0.0):>6.1f} "
+                         f"{row.get('self', 0):>7d} {row.get('cum', 0):>7d}"
+                         f"  {row.get('func', '?')}")
+        if not profile.get("hot"):
+            lines.append("  (no samples collected)")
 
     spans = report.get("spans") or {}
     children = spans.get("children", [])

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs.recorder import CellRecorder
 from repro.sim.autopilot import AutopilotParams
 from repro.sim.batch import BatchParams, BatchQueue
 from repro.sim.dependencies import DependencyManager
@@ -175,7 +176,8 @@ class CellSim:
     """Runs one cell to its horizon."""
 
     def __init__(self, config: CellConfig, machines: Sequence[Machine],
-                 workload: Sequence[Collection], rng: RngFactory):
+                 workload: Sequence[Collection], rng: RngFactory,
+                 recorder: Optional["CellRecorder"] = None):
         if not machines:
             raise SimulationError("a cell needs at least one machine")
         self.config = config
@@ -216,6 +218,15 @@ class CellSim:
         self._batch_admitted: set = set()
         #: tasks hosted inside each alloc instance
         self._alloc_tenants: Dict[Tuple[int, int], List[Instance]] = {}
+
+        #: Optional flight recorder (``simulate --record``); sampling is
+        #: driven from the event loop behind an ``is not None`` guard
+        #: (RPR007), so an unrecorded run pays one comparison per event.
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach({"pending": self._pending.__len__,
+                             "parked": self._parked.__len__},
+                            counters_probe=lambda: vars(self.counters))
 
         self._rng_hazard = rng.stream("hazards")
         self._rng_usage = rng.stream("usage")
@@ -295,11 +306,17 @@ class CellSim:
         events_processed = obs.counter("sim.events_processed")
         kind_counters = {kind: obs.counter("sim.events." + kind)
                          for kind in handlers}
+        recorder = self.recorder
         with obs.span("sim.event_loop"):
             while self._heap:
                 time, _, kind, payload = heapq.heappop(self._heap)
                 if time >= horizon:
                     break
+                # Flight-recorder hook: sampled *before* the boundary-
+                # crossing event runs, so a frame at t=k·interval holds
+                # exactly the state of all events strictly before it.
+                if recorder is not None and time >= recorder.next_due:
+                    recorder.tick(time)
                 events_processed.inc()
                 kind_counters[kind].inc()
                 handlers[kind](time, payload)
@@ -310,6 +327,11 @@ class CellSim:
             _reconcile_machine_usage(usage, self.machines,
                                      self.config.sample_period)
         self._export_obs_counters(usage)
+        if recorder is not None:
+            # Trailing boundaries (hours after the last event) repeat the
+            # closing state; the horizon frame carries the full exported
+            # cell counters.
+            recorder.finish(horizon)
         return CellResult(
             config=self.config,
             machines=self.machines,

@@ -69,10 +69,17 @@ class CellScenario:
             sum(m.capacity.mem for m in self.machines),
         )
 
-    def run(self) -> CellResult:
-        """Simulate the cell to its horizon."""
+    def run(self, recorder=None) -> CellResult:
+        """Simulate the cell to its horizon.
+
+        ``recorder`` is an optional
+        :class:`repro.obs.recorder.CellRecorder`; when given, the
+        simulator emits streaming flight-recorder frames on the
+        recorder's simulated-time cadence.
+        """
         rng = RngFactory(self.seed).child(f"sim-{self.name}")
-        return CellSim(self.config, self.machines, self.workload, rng).run()
+        return CellSim(self.config, self.machines, self.workload, rng,
+                       recorder=recorder).run()
 
 
 def _scheduler_params(era: EraParams) -> SchedulerParams:

@@ -1,0 +1,257 @@
+"""Bench-gate tests: normalization, the noise-aware compare, CLI exits.
+
+The two ends of the gate's contract come straight from the PR's
+acceptance criteria: an unchanged re-run of the committed baseline must
+pass, and a uniformly injected 20% slowdown must be flagged at the
+default 10% threshold.  The adaptive-band tests pin the "noise-aware"
+part: the gate widens to 1.5x the spread the history itself
+demonstrates, so a benchmark whose minima historically wobble 25% is
+not failed by a 15% excursion.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.regress import (
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    VERDICT_SCHEMA,
+    BenchDataError,
+    append_history,
+    compact_bench,
+    compare,
+    compare_files,
+    history_entries,
+    load_bench,
+    load_history,
+    robust_min,
+)
+
+
+def raw_bench(scale=1.0, names=("test_sim", "test_encode"), commit="abc123f99"):
+    """A pytest-benchmark-shaped payload with round data."""
+    benchmarks = []
+    for i, name in enumerate(names):
+        base = 0.1 * (i + 1) * scale
+        data = [base * f for f in (1.04, 1.0, 1.09, 1.02)]
+        benchmarks.append({
+            "name": name,
+            "stats": {"min": min(data), "median": sorted(data)[2],
+                      "mean": sum(data) / len(data), "stddev": 0.002,
+                      "rounds": len(data), "data": data},
+        })
+    return {
+        "machine_info": {"node": "ci-runner"},
+        "commit_info": {"id": commit},
+        "datetime": "2026-08-05T12:00:00",
+        "benchmarks": benchmarks,
+    }
+
+
+def write_bench(path, **kwargs):
+    path.write_text(json.dumps(raw_bench(**kwargs)))
+    return path
+
+
+@pytest.fixture()
+def history_dir(tmp_path):
+    current = write_bench(tmp_path / "run.json")
+    directory = tmp_path / "BENCH_history"
+    append_history(directory, current)
+    return directory
+
+
+# -- normalization / history ------------------------------------------------
+
+class TestLoading:
+    def test_normalizes_raw_pytest_benchmark_json(self, tmp_path):
+        bench = load_bench(write_bench(tmp_path / "run.json"))
+        assert set(bench) == {"test_sim", "test_encode"}
+        stats = bench["test_sim"]
+        assert stats["rounds"] == 4
+        assert stats["min"] == min(stats["data"])
+
+    def test_round_trips_through_compact_schema(self, tmp_path):
+        raw_path = write_bench(tmp_path / "run.json")
+        entry = compact_bench(raw_path)
+        assert entry["schema"] == BENCH_SCHEMA
+        assert entry["label"] == "abc123f"  # short commit
+        compact_path = tmp_path / "entry.json"
+        compact_path.write_text(json.dumps(entry))
+        assert load_bench(compact_path) == load_bench(raw_path)
+
+    def test_rejects_unusable_payloads(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"benchmarks": []}')
+        with pytest.raises(BenchDataError):
+            load_bench(empty)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json")
+        with pytest.raises(BenchDataError):
+            load_bench(garbage)
+        with pytest.raises(BenchDataError):
+            load_bench(tmp_path / "missing.json")
+
+    def test_append_numbers_entries_sequentially(self, tmp_path):
+        run = write_bench(tmp_path / "run.json")
+        directory = tmp_path / "hist"
+        first = append_history(directory, run)
+        second = append_history(directory, run, label="pr-5")
+        assert first.name == "00001-abc123f.json"
+        assert second.name == "00002-pr-5.json"
+        assert [p.name for p in history_entries(directory)] == \
+            [first.name, second.name]
+        assert len(load_history(directory)) == 2
+        assert len(load_history(directory, last=1)) == 1
+
+    def test_robust_min_prefers_round_data(self):
+        assert robust_min({"min": 0.5, "data": [0.4, 0.6]}) == 0.4
+        assert robust_min({"min": 0.5, "data": []}) == 0.5
+
+
+# -- comparison -------------------------------------------------------------
+
+class TestCompare:
+    def test_unchanged_rerun_passes(self, tmp_path):
+        current = load_bench(write_bench(tmp_path / "run.json"))
+        result = compare(current, [current])
+        assert result.passed
+        assert {v.status for v in result.verdicts} == {"ok"}
+
+    def test_twenty_percent_slowdown_is_flagged(self, tmp_path):
+        base = load_bench(write_bench(tmp_path / "base.json"))
+        slow = load_bench(write_bench(tmp_path / "slow.json", scale=1.2))
+        result = compare(slow, [base])
+        assert not result.passed
+        assert all(v.status == "regression" for v in result.verdicts)
+        assert all(v.ratio == pytest.approx(1.2, abs=0.01)
+                   for v in result.verdicts)
+
+    def test_improvement_is_reported_not_failed(self, tmp_path):
+        base = load_bench(write_bench(tmp_path / "base.json"))
+        fast = load_bench(write_bench(tmp_path / "fast.json", scale=0.7))
+        result = compare(fast, [base])
+        assert result.passed
+        assert {v.status for v in result.verdicts} == {"improvement"}
+
+    def test_new_and_missing_benchmarks_never_fail(self):
+        current = {"kept": {"min": 0.1, "data": [0.1]},
+                   "added": {"min": 0.2, "data": [0.2]}}
+        history = [{"kept": {"min": 0.1, "data": [0.1]},
+                    "removed": {"min": 0.3, "data": [0.3]}}]
+        result = compare(current, history)
+        assert result.passed
+        statuses = {v.name: v.status for v in result.verdicts}
+        assert statuses == {"kept": "ok", "added": "new",
+                            "removed": "missing"}
+
+    def test_noise_band_widens_with_historical_spread(self):
+        # Minima 100ms and 125ms: spread 25%, gate 1.5 * 25% = 37.5%.
+        noisy_history = [{"t": {"min": 0.100, "data": [0.100]}},
+                         {"t": {"min": 0.125, "data": [0.125]}}]
+        wobble = {"t": {"min": 0.130, "data": [0.130]}}
+        result = compare(wobble, noisy_history)
+        assert result.verdicts[0].status == "ok"
+        assert result.verdicts[0].threshold == pytest.approx(0.375)
+        # The same 30% excursion against a *stable* history regresses.
+        stable_history = [{"t": {"min": 0.100, "data": [0.100]}},
+                          {"t": {"min": 0.101, "data": [0.101]}}]
+        result = compare(wobble, stable_history)
+        assert result.verdicts[0].status == "regression"
+
+    def test_baseline_is_best_min_across_history(self):
+        history = [{"t": {"min": 0.100, "data": [0.100]}},
+                   {"t": {"min": 0.090, "data": [0.090]}}]
+        current = {"t": {"min": 0.095, "data": [0.095]}}
+        result = compare(current, history)
+        assert result.verdicts[0].baseline_min == pytest.approx(0.090)
+
+    def test_empty_history_raises(self):
+        with pytest.raises(BenchDataError, match="no history"):
+            compare({"t": {"min": 0.1, "data": [0.1]}}, [])
+
+    def test_verdict_json_schema(self, tmp_path, history_dir):
+        result = compare_files(write_bench(tmp_path / "run2.json"),
+                               history_dir)
+        payload = result.to_dict()
+        assert payload["schema"] == VERDICT_SCHEMA
+        assert payload["passed"] is True
+        assert payload["threshold"] == DEFAULT_THRESHOLD
+        assert {b["name"] for b in payload["benchmarks"]} == \
+            {"test_sim", "test_encode"}
+
+    def test_render_names_every_benchmark_and_verdict(self, tmp_path):
+        base = load_bench(write_bench(tmp_path / "base.json"))
+        slow = load_bench(write_bench(tmp_path / "slow.json", scale=1.2))
+        text = compare(slow, [base]).render()
+        assert "REGRESSION" in text
+        assert "test_sim" in text
+        assert text.strip().endswith("FAIL: 2 regression(s)")
+
+
+# -- the CLI gate -----------------------------------------------------------
+
+class TestBenchCli:
+    def test_compare_pass_exits_zero(self, tmp_path, history_dir, capsys):
+        run = write_bench(tmp_path / "rerun.json")
+        rc = main(["bench", "compare", str(run),
+                   "--history", str(history_dir)])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_regression_exits_one(self, tmp_path, history_dir,
+                                          capsys):
+        slow = write_bench(tmp_path / "slow.json", scale=1.2)
+        verdict_path = tmp_path / "verdict.json"
+        rc = main(["bench", "compare", str(slow),
+                   "--history", str(history_dir),
+                   "--json-out", str(verdict_path)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["schema"] == VERDICT_SCHEMA
+        assert verdict["passed"] is False
+
+    def test_compare_bad_input_exits_two(self, tmp_path, history_dir,
+                                         capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["bench", "compare", str(missing),
+                     "--history", str(history_dir)]) == 2
+        assert "bench compare:" in capsys.readouterr().err
+        empty_history = tmp_path / "no_history"
+        run = write_bench(tmp_path / "run3.json")
+        assert main(["bench", "compare", str(run),
+                     "--history", str(empty_history)]) == 2
+
+    def test_compare_custom_threshold(self, tmp_path, history_dir):
+        slow = write_bench(tmp_path / "slow2.json", scale=1.2)
+        rc = main(["bench", "compare", str(slow),
+                   "--history", str(history_dir), "--threshold", "0.5"])
+        assert rc == 0
+
+    def test_append_writes_next_entry(self, tmp_path, history_dir, capsys):
+        run = write_bench(tmp_path / "run4.json", commit="feedface00")
+        rc = main(["bench", "append", str(run),
+                   "--history", str(history_dir)])
+        assert rc == 0
+        assert "00002-feedfac.json" in capsys.readouterr().out
+        entries = history_entries(history_dir)
+        assert len(entries) == 2
+        assert json.loads(entries[-1].read_text())["schema"] == BENCH_SCHEMA
+
+    def test_append_bad_input_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"benchmarks": []}')
+        assert main(["bench", "append", str(bad),
+                     "--history", str(tmp_path / "hist")]) == 2
+        assert "bench append:" in capsys.readouterr().err
+
+    def test_seeded_repo_history_passes_unchanged_baseline(self, capsys):
+        # The committed BENCH_history seed is the PR-4 baseline; replaying
+        # the exact baseline file through the gate must pass.
+        rc = main(["bench", "compare", "BENCH_simulator.json",
+                   "--history", "BENCH_history"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out

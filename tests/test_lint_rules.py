@@ -1,4 +1,4 @@
-"""Per-rule fixtures for RPR002-RPR006: true positive, suppression, clean.
+"""Per-rule fixtures for RPR002-RPR007: true positive, suppression, clean.
 
 Each rule's positive fixture is the bug class the rule exists to catch —
 code that parses, imports, and passes casual runtime tests, but violates
@@ -328,3 +328,78 @@ def test_rpr006_suppression():
                 pass
     """
     assert lint(source, SIM_PATH, "RPR006") == []
+
+
+# -- RPR007: hot-loop guards ------------------------------------------------
+
+def test_rpr007_flags_unguarded_recorder_in_loop():
+    source = """\
+        def run(self):
+            while self._heap:
+                self.recorder.tick(t)
+    """
+    violations = lint(source, SIM_PATH, "RPR007")
+    assert len(violations) == 1
+    assert violations[0].rule == "RPR007"
+    assert "loop" in violations[0].message
+
+
+def test_rpr007_flags_profiler_in_for_and_comprehension():
+    source = """\
+        def run(self, profiler):
+            for event in self.events:
+                profiler.sample(event)
+            return [profiler.snapshot(e) for e in self.events]
+    """
+    assert len(lint(source, SIM_PATH, "RPR007")) == 2
+
+
+def test_rpr007_allows_guarded_and_hoisted_calls():
+    source = """\
+        def run(self):
+            recorder = self.recorder
+            while self._heap:
+                if recorder is not None and t >= recorder.next_due:
+                    recorder.tick(t)
+            if recorder is not None:
+                for t in trailing:
+                    recorder.finish(t)
+    """
+    assert lint(source, SIM_PATH, "RPR007") == []
+
+
+def test_rpr007_guard_must_cover_the_call():
+    # The else branch of a recorder guard is *not* guarded.
+    source = """\
+        def run(self, recorder):
+            for t in ts:
+                if recorder is None:
+                    pass
+                else:
+                    recorder.tick(t)
+    """
+    assert len(lint(source, SIM_PATH, "RPR007")) == 1
+
+
+def test_rpr007_allows_setup_outside_loops_and_other_dirs():
+    setup = """\
+        def __init__(self, recorder):
+            self.recorder = recorder
+            recorder.attach(self.probes())
+    """
+    assert lint(setup, SIM_PATH, "RPR007") == []
+    loop = """\
+        def drain(self, recorder):
+            for frame in frames:
+                recorder.emit(frame)
+    """
+    assert lint(loop, ANALYSIS_PATH, "RPR007") == []
+
+
+def test_rpr007_suppression():
+    source = """\
+        def run(self, recorder):
+            for t in ts:
+                recorder.tick(t)  # repro: noqa[RPR007]
+    """
+    assert lint(source, SIM_PATH, "RPR007") == []

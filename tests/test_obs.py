@@ -375,4 +375,4 @@ class TestObsCli:
         bogus = tmp_path / "bogus.json"
         bogus.write_text("{}")
         assert main(["stats", str(bogus)]) == 2
-        assert "not a repro.obs run report" in capsys.readouterr().err
+        assert "unsupported repro.obs schema" in capsys.readouterr().err
