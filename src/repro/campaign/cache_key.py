@@ -1,0 +1,87 @@
+"""Content-addressed cache keys for campaign evaluation points.
+
+A campaign is incremental because each evaluation point is addressed by
+a *stable* hash of everything that determines its result: the fully
+resolved point parameters, the seed, and a schema version naming the
+code-relevant contract (which parameters exist, what the metrics mean).
+Two specs that describe the same point — different JSON key order,
+whitespace, ``1.0`` vs ``1`` — must map to the same key, so re-running
+a reformatted spec skips every point; any *semantic* change (a
+parameter value, the seed, a schema bump) must change the key, so stale
+results can never be served for a different configuration.
+
+Normalization rules (:func:`normalize`):
+
+* mappings sort by key; insertion order never reaches the hash,
+* sequences keep their order (a grid value list IS ordered data),
+* floats with integral values collapse to ints (``1.0`` == ``1``),
+* booleans stay booleans (``True`` is not ``1`` here),
+* non-finite floats are rejected — a NaN in a spec is a bug, and NaN
+  would also break ``x == x`` round-tripping through JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+#: Bump when the point-parameter contract or the metrics layout changes
+#: incompatibly; every cached result becomes a miss.
+CACHE_SCHEMA_VERSION = "repro.campaign.point/1"
+
+#: Hex digits of the SHA-256 kept as the on-disk key (directory name).
+KEY_LENGTH = 16
+
+
+def normalize(value: Any) -> Any:
+    """Canonicalize ``value`` for hashing (see module docstring)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite number in campaign config: {value!r}")
+        if value.is_integer():
+            return int(value)
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"campaign config keys must be strings, got {key!r}")
+            out[key] = normalize(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    raise ValueError(
+        f"unsupported campaign config value of type {type(value).__name__}: "
+        f"{value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """The stable serialized form actually hashed (useful for debugging)."""
+    return json.dumps(normalize(value), sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True)
+
+
+def point_key(params: dict, seed: int,
+              schema_version: str = CACHE_SCHEMA_VERSION) -> str:
+    """The content-addressed key of one evaluation point.
+
+    ``params`` is the point's fully *resolved* parameter mapping (base
+    defaults merged with its grid assignment) — resolving before
+    hashing is what makes a spec that spells a default explicitly hash
+    identically to one that omits it.
+    """
+    payload = {
+        "schema": schema_version,
+        "params": normalize(params),
+        "seed": int(seed),
+    }
+    digest = hashlib.sha256(
+        canonical_json(payload).encode("ascii")).hexdigest()
+    return digest[:KEY_LENGTH]

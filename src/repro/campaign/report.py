@@ -1,0 +1,111 @@
+"""Trade-study rendering: the campaign's tables and Pareto front.
+
+The report is a pure function of the cached result payloads (see
+:mod:`repro.campaign.runner`), so it can be rendered at any time —
+mid-campaign over whatever points exist, or after completion — and is
+byte-identical between serial and parallel runs of the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.summary import OBJECTIVES, aggregate_points, pareto_front
+
+#: Machine-readable report schema.
+REPORT_SCHEMA = "repro.campaign.report/1"
+
+#: Metrics printed as table columns, with short headers and formats.
+_METRIC_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("cpu_utilization", "cpu_util", "{:.4f}"),
+    ("mem_utilization", "mem_util", "{:.4f}"),
+    ("evictions_per_machine_hour", "evict/m-h", "{:.4f}"),
+    ("p95_queueing_delay_s", "p95_delay_s", "{:.2f}"),
+)
+
+
+def build_report(spec: CampaignSpec, results: Sequence[dict]) -> dict:
+    """Aggregate payloads into the machine-readable report object."""
+    rows = aggregate_points(results, spec.grid_axes)
+    front = pareto_front(rows)
+    return {
+        "schema": REPORT_SCHEMA,
+        "campaign": spec.name,
+        "description": spec.description,
+        "grid_axes": list(spec.grid_axes),
+        "seeds": list(spec.seeds),
+        "objectives": [{"metric": name, "direction": direction}
+                       for name, direction in OBJECTIVES],
+        "results": len(results),
+        "rows": rows,
+        "pareto_front": front,
+    }
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, list):
+        return ",".join(str(v) for v in value)
+    return str(value)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def render_report(report: dict) -> str:
+    """The human-readable trade study (text)."""
+    rows: List[Dict] = report["rows"]
+    front = set(report["pareto_front"])
+    axes: List[str] = report["grid_axes"]
+    lines: List[str] = []
+    lines.append(f"campaign {report['campaign']}  "
+                 f"({report['results']} result(s), {len(rows)} grid "
+                 f"point(s), seeds {report['seeds']})")
+    if report.get("description"):
+        lines.append(report["description"])
+    lines.append("")
+    lines.append("trade study (metrics are means over ok seeds; "
+                 "* marks the Pareto front):")
+    headers = [""] + axes + [h for _, h, _ in _METRIC_COLUMNS] \
+        + ["seeds", "errors"]
+    body: List[List[str]] = []
+    for i, row in enumerate(rows):
+        cells = ["*" if i in front else ""]
+        cells += [_fmt_cell(row["grid"].get(axis)) for axis in axes]
+        for name, _, fmt in _METRIC_COLUMNS:
+            value = row["metrics"].get(name)
+            cells.append(fmt.format(value) if value is not None else "-")
+        cells.append(str(len(row["seeds"])))
+        cells.append(str(len(row["errors"])))
+        body.append(cells)
+    lines += ["  " + line for line in _table(headers, body)]
+    lines.append("")
+    objectives = ", ".join(f"{o['direction']} {o['metric']}"
+                           for o in report["objectives"])
+    lines.append(f"Pareto front ({objectives}):")
+    if not front:
+        lines.append("  (empty — no grid point has an ok result)")
+    for i in sorted(front):
+        row = rows[i]
+        assignment = " ".join(f"{axis}={_fmt_cell(row['grid'].get(axis))}"
+                              for axis in axes) or "(single point)"
+        metrics = "  ".join(
+            f"{h}={fmt.format(row['metrics'].get(name, 0.0))}"
+            for name, h, fmt in _METRIC_COLUMNS)
+        lines.append(f"  {assignment}: {metrics}")
+    return "\n".join(lines) + "\n"
+
+
+def render_report_json(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

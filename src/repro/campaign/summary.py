@@ -1,0 +1,146 @@
+"""Per-point metric extraction and cross-point trade-study aggregation.
+
+One evaluation point simulates one or more cells; this module reduces
+those :class:`~repro.sim.cell.CellResult` objects to the campaign's
+headline metrics — reusing the existing analysis reducers rather than
+re-deriving them:
+
+* ``cpu_utilization`` / ``mem_utilization`` — whole-trace average usage
+  fraction (:func:`repro.analysis.utilization.total_usage_fraction`),
+  averaged across the point's cells,
+* ``p95_queueing_delay_s`` — the 95th percentile of per-job scheduling
+  delay (:func:`repro.analysis.sched_delay.scheduling_delays`), pooled
+  across cells,
+* ``evictions_per_machine_hour`` — infrastructure + preemption
+  evictions normalized by fleet size and horizon, so points with
+  different cell sizes or horizons stay comparable.
+
+:func:`aggregate_points` then folds per-seed results into one row per
+grid assignment (mean across seeds) and :func:`pareto_front` marks the
+non-dominated rows of the utilization / eviction / delay trade-off.
+Everything here is a pure function of the result payloads, so reports
+are identical between serial and parallel campaign runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sched_delay import scheduling_delays
+from repro.analysis.utilization import total_usage_fraction
+from repro.sim.cell import CellResult
+from repro.trace import encode_cell
+from repro.util.timeutil import HOUR_SECONDS
+
+#: The trade-study objectives: (metric name, direction).  Direction is
+#: "max" (bigger is better) or "min"; :func:`pareto_front` uses these.
+OBJECTIVES: Tuple[Tuple[str, str], ...] = (
+    ("cpu_utilization", "max"),
+    ("evictions_per_machine_hour", "min"),
+    ("p95_queueing_delay_s", "min"),
+)
+
+#: The delay percentile the campaign reports (0..1).
+DELAY_PERCENTILE = 0.95
+
+
+def point_metrics(results: Sequence[CellResult]) -> Dict[str, float]:
+    """Reduce one point's cell results to the campaign metric dict."""
+    if not results:
+        raise ValueError("point_metrics requires at least one cell result")
+    traces = [encode_cell(result) for result in results]
+    cpu = [total_usage_fraction(t, resource="cpu") for t in traces]
+    mem = [total_usage_fraction(t, resource="mem") for t in traces]
+    delays = [scheduling_delays(t).column("delay").values for t in traces]
+    pooled = np.concatenate(delays) if delays else np.zeros(0)
+    p95 = float(np.quantile(pooled, DELAY_PERCENTILE)) if pooled.size else 0.0
+    evictions = sum(r.counters.evictions for r in results)
+    machine_hours = sum(
+        len(r.machines) * r.config.horizon / HOUR_SECONDS for r in results)
+    return {
+        "cpu_utilization": float(np.mean(cpu)),
+        "mem_utilization": float(np.mean(mem)),
+        "p95_queueing_delay_s": p95,
+        "evictions_per_machine_hour":
+            evictions / machine_hours if machine_hours > 0 else 0.0,
+        "jobs_submitted": float(sum(r.counters.jobs_submitted
+                                    for r in results)),
+        "tasks_created": float(sum(r.counters.tasks_created
+                                   for r in results)),
+        "evictions": float(evictions),
+        "jobs_measured": float(pooled.size),
+    }
+
+
+def aggregate_points(results: Sequence[dict],
+                     grid_axes: Sequence[str]) -> List[dict]:
+    """Fold per-(point, seed) result payloads into per-grid-point rows.
+
+    ``results`` are decoded ``repro.campaign.result/1`` payloads (see
+    :mod:`repro.campaign.runner`).  Rows come back in first-seen order
+    — the spec's expansion order when results are fed in point order —
+    each with the grid assignment, mean metrics over its ``ok`` seeds,
+    and the seed/error bookkeeping the report prints.
+    """
+    rows: List[dict] = []
+    index: Dict[tuple, dict] = {}
+    for payload in results:
+        assignment = {axis: payload["params"][axis] for axis in grid_axes}
+        group = tuple((axis, repr(assignment[axis])) for axis in grid_axes)
+        row = index.get(group)
+        if row is None:
+            row = {"grid": assignment, "params": dict(payload["params"]),
+                   "seeds": [], "errors": [], "_metric_samples": {}}
+            index[group] = row
+            rows.append(row)
+        if payload.get("status") == "ok":
+            row["seeds"].append(payload["seed"])
+            for name, value in payload.get("metrics", {}).items():
+                row["_metric_samples"].setdefault(name, []).append(value)
+        else:
+            row["errors"].append(payload["seed"])
+    for row in rows:
+        samples = row.pop("_metric_samples")
+        row["metrics"] = {name: float(np.mean(values))
+                          for name, values in sorted(samples.items())}
+        row["seeds"].sort()
+        row["errors"].sort()
+    return rows
+
+
+def _dominates(a: Dict[str, float], b: Dict[str, float],
+               objectives: Sequence[Tuple[str, str]]) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere."""
+    strictly_better = False
+    for name, direction in objectives:
+        va, vb = a.get(name, 0.0), b.get(name, 0.0)
+        if direction == "max":
+            if va < vb:
+                return False
+            strictly_better = strictly_better or va > vb
+        else:
+            if va > vb:
+                return False
+            strictly_better = strictly_better or va < vb
+    return strictly_better
+
+
+def pareto_front(rows: Sequence[dict],
+                 objectives: Sequence[Tuple[str, str]] = OBJECTIVES,
+                 ) -> List[int]:
+    """Indices of the non-dominated rows (rows without ``ok`` seeds are
+    never on the front — they have no metrics to trade)."""
+    front: List[int] = []
+    for i, row in enumerate(rows):
+        if not row["seeds"]:
+            continue
+        dominated = any(
+            j != i and other["seeds"]
+            and _dominates(other["metrics"], row["metrics"], objectives)
+            for j, other in enumerate(rows))
+        if not dominated:
+            front.append(i)
+    return front

@@ -27,6 +27,10 @@ bench
     Compare the current benchmark run against the committed
     ``BENCH_history/`` (noise-aware, exits nonzero on regression), or
     append a run to the history.
+campaign
+    Run a declarative parameter-sweep campaign from a JSON spec
+    (content-addressed point cache, parallel workers, fault-tolerant),
+    probe its cache state, or render the trade-study / Pareto report.
 lint
     Run the repo's AST-based static-analysis pass (schema consistency,
     determinism, fork safety, exception hygiene, unit discipline, hot-
@@ -45,6 +49,16 @@ from typing import List, Optional
 
 from repro import obs
 from repro.analysis.report import full_report
+from repro.campaign import (
+    CampaignSpecError,
+    build_report,
+    campaign_status,
+    load_campaign_results,
+    load_spec,
+    render_report,
+    render_report_json,
+    run_campaign,
+)
 from repro.lint import iter_python_files, lint_file
 from repro.lint import render as render_lint
 from repro.obs.profiler import SamplingProfiler
@@ -380,6 +394,76 @@ def _bench_append(args) -> int:
     return 0
 
 
+def _campaign_run(args) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, CampaignSpecError) as exc:
+        print(f"campaign run: {exc}", file=sys.stderr)
+        return 2
+    summary = run_campaign(spec, args.out, workers=args.workers,
+                           force=args.force)
+    print(summary.render())
+    if args.summary_out:
+        with open(args.summary_out, "w", encoding="utf-8") as f:
+            json.dump(summary.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"run summary written to {args.summary_out}", file=sys.stderr)
+    _write_obs_report(args, "campaign run",
+                      {"spec": str(args.spec), "out": str(args.out),
+                       "workers": args.workers})
+    return 0 if summary.ok else 1
+
+
+def _campaign_status(args) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, CampaignSpecError) as exc:
+        print(f"campaign status: {exc}", file=sys.stderr)
+        return 2
+    records = campaign_status(spec, args.out)
+    counts = {"hit": 0, "error": 0, "missing": 0}
+    for record in records:
+        counts[record["state"]] += 1
+    if args.json:
+        json.dump({"campaign": spec.name, "points": len(records),
+                   "hits": counts["hit"], "errors": counts["error"],
+                   "missing": counts["missing"]},
+                  sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(f"campaign {spec.name}: {len(records)} point(s) — "
+          f"{counts['hit']} cached, {counts['error']} error(s), "
+          f"{counts['missing']} missing")
+    for record in records:
+        grid = " ".join(f"{k}={v}" for k, v in record["grid"].items())
+        print(f"  point {record['point_id']:>3d} seed {record['seed']:>3d} "
+              f"[{record['key']}] {record['state']:<7s} {grid}")
+    return 0
+
+
+def _campaign_report(args) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, CampaignSpecError) as exc:
+        print(f"campaign report: {exc}", file=sys.stderr)
+        return 2
+    results = load_campaign_results(spec, args.out)
+    if not results:
+        print(f"campaign report: no cached results for {spec.name} under "
+              f"{args.out} (run 'borg-repro campaign run' first)",
+              file=sys.stderr)
+        return 1
+    report = build_report(spec, results)
+    text = render_report_json(report) if args.format == "json" \
+        else render_report(report)
+    if args.report_out:
+        Path(args.report_out).write_text(text, encoding="utf-8")
+        print(f"report written to {args.report_out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _lint(args) -> int:
     select = None
     if args.select:
@@ -519,6 +603,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_app.add_argument("--label", default=None,
                        help="entry label (default: the run's short commit)")
     p_app.set_defaults(func=_bench_append)
+
+    p_camp = sub.add_parser(
+        "campaign", help="declarative what-if sweeps with a "
+                         "content-addressed point cache")
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+    p_crun = camp_sub.add_parser(
+        "run", help="run a campaign spec (cached points are skipped; "
+                    "exit 1 when any point errored)")
+    p_crun.add_argument("spec", help="campaign spec JSON (see examples/)")
+    p_crun.add_argument("--out", default="campaign_out",
+                        help="campaign output directory "
+                             "(default campaign_out; one subdir per "
+                             "point cache key)")
+    p_crun.add_argument("--workers", type=int, default=None,
+                        help="worker processes for point fan-out "
+                             "(default: serial)")
+    p_crun.add_argument("--force", action="store_true",
+                        help="re-evaluate every point, ignoring the cache")
+    p_crun.add_argument("--summary-out", default=None, metavar="SUMMARY.json",
+                        help="write the machine-readable run summary "
+                             "(points/hits/ran/errors) here")
+    _add_obs_out_arg(p_crun)
+    p_crun.set_defaults(func=_campaign_run)
+    p_cstat = camp_sub.add_parser(
+        "status", help="probe a campaign's cache state without running")
+    p_cstat.add_argument("spec", help="campaign spec JSON")
+    p_cstat.add_argument("--out", default="campaign_out",
+                         help="campaign output directory "
+                              "(default campaign_out)")
+    p_cstat.add_argument("--json", action="store_true",
+                         help="print the counts as JSON")
+    p_cstat.set_defaults(func=_campaign_status)
+    p_crep = camp_sub.add_parser(
+        "report", help="render the trade-study tables and Pareto front "
+                       "from cached results")
+    p_crep.add_argument("spec", help="campaign spec JSON")
+    p_crep.add_argument("--out", default="campaign_out",
+                        help="campaign output directory "
+                             "(default campaign_out)")
+    p_crep.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default text)")
+    p_crep.add_argument("--report-out", default=None, metavar="REPORT",
+                        help="write the report here instead of stdout")
+    p_crep.set_defaults(func=_campaign_report)
 
     p_lint = sub.add_parser(
         "lint", help="run the repo's static-analysis rules (RPR001-RPR007)")

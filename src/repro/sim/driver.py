@@ -93,7 +93,15 @@ def run_cells(scenarios: Sequence[CellScenario],
     sampled after trace encoding so it matches the obs report).
     """
     if not scenarios:
+        # Zero cells is a legal (if degenerate) campaign/CLI input: no
+        # pool, no idle workers — but a recording run still gets its
+        # sink flushed so the frames file is complete and parseable.
+        if record is not None:
+            record.sink.flush()
         return []
+    # ``workers`` <= 1 (including 0 and negatives) means serial, and a
+    # pool never exceeds the scenario count: requesting ``--workers 8``
+    # for 3 cells spawns 3 processes, not 8 with 5 idle.
     serial = workers is None or workers <= 1 or len(scenarios) == 1
     if record is None:
         if serial:

@@ -1,0 +1,128 @@
+"""Cache-key stability: the content-address contract of repro.campaign.
+
+Same semantic config -> same key, regardless of serialization noise
+(key order, whitespace, 1.0 vs 1); any semantic change (a parameter
+value, the seed, the schema version) -> a different key.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import canonical_json, normalize, parse_spec, point_key
+
+
+BASE_PARAMS = {
+    "era": "2019", "cells": ["d"], "machines": 16, "hours": 4.0,
+    "scale": 0.012, "sample_period": 300.0,
+    "overcommit_cpu": 1.5, "overcommit_mem": None,
+}
+
+
+class TestNormalize:
+    def test_dict_key_order_is_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_integral_floats_collapse_to_ints(self):
+        assert normalize(1.0) == 1
+        assert isinstance(normalize(1.0), int)
+        assert canonical_json({"machines": 16.0}) == \
+            canonical_json({"machines": 16})
+
+    def test_non_integral_floats_survive(self):
+        assert normalize(1.5) == 1.5
+        assert canonical_json(1.5) != canonical_json(1)
+
+    def test_bools_are_not_ints(self):
+        assert canonical_json(True) != canonical_json(1)
+        assert normalize(True) is True
+
+    def test_list_order_matters(self):
+        assert canonical_json([1, 2]) != canonical_json([2, 1])
+
+    def test_nested_structures(self):
+        a = {"grid": {"b": [1.0, 2], "a": 3}, "s": "x"}
+        b = {"s": "x", "grid": {"a": 3, "b": [1, 2.0]}}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                normalize(bad)
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"x": object()})
+        with pytest.raises(ValueError):
+            normalize({1: "non-string key"})
+
+
+class TestPointKey:
+    def test_stable_across_equivalent_serializations(self):
+        reordered = dict(reversed(list(BASE_PARAMS.items())))
+        numerically_equivalent = dict(BASE_PARAMS,
+                                      machines=16.0, hours=4, scale=0.012)
+        assert point_key(BASE_PARAMS, 0) == point_key(reordered, 0)
+        assert point_key(BASE_PARAMS, 0) == \
+            point_key(numerically_equivalent, 0)
+
+    def test_any_semantic_field_change_changes_key(self):
+        base = point_key(BASE_PARAMS, 0)
+        for name, value in [("machines", 17), ("hours", 4.5),
+                            ("scale", 0.013), ("cells", ["a"]),
+                            ("era", "2011"), ("overcommit_cpu", 1.6),
+                            ("overcommit_mem", 1.1),
+                            ("sample_period", 600.0)]:
+            changed = dict(BASE_PARAMS)
+            changed[name] = value
+            assert point_key(changed, 0) != base, name
+
+    def test_seed_changes_key(self):
+        assert point_key(BASE_PARAMS, 0) != point_key(BASE_PARAMS, 1)
+
+    def test_schema_version_changes_key(self):
+        assert point_key(BASE_PARAMS, 0) != \
+            point_key(BASE_PARAMS, 0, schema_version="repro.campaign.point/999")
+
+    def test_key_is_short_stable_hex(self):
+        key = point_key(BASE_PARAMS, 0)
+        assert len(key) == 16
+        int(key, 16)  # hex-parseable
+
+
+class TestSpecLevelStability:
+    """Whitespace / formatting of the spec JSON never reaches the keys."""
+
+    SPEC = {
+        "campaign": "stability",
+        "base": {"machines": 12, "hours": 2.0, "cells": ["d"]},
+        "grid": {"overcommit_cpu": [1.2, 1.9]},
+        "seeds": [0, 1],
+    }
+
+    def _keys(self, payload: dict):
+        return [p.key for p in parse_spec(payload).points]
+
+    def test_reserialized_spec_same_keys(self):
+        compact = json.loads(json.dumps(self.SPEC, separators=(",", ":")))
+        pretty = json.loads(json.dumps(self.SPEC, indent=4,
+                                       sort_keys=True))
+        assert self._keys(compact) == self._keys(pretty)
+
+    def test_explicit_default_same_keys_as_omitted(self):
+        # Spelling a default out in `base` resolves to the same points.
+        explicit = {**self.SPEC,
+                    "base": {**self.SPEC["base"], "era": "2019",
+                             "scale": 0.012}}
+        assert self._keys(explicit) == self._keys(self.SPEC)
+
+    def test_float_int_equivalence_in_grid(self):
+        a = {**self.SPEC, "grid": {"overcommit_cpu": [1.0, 2.0]}}
+        b = {**self.SPEC, "grid": {"overcommit_cpu": [1, 2]}}
+        assert self._keys(a) == self._keys(b)
+
+    def test_changed_seed_list_changes_point_keys(self):
+        other = {**self.SPEC, "seeds": [2, 3]}
+        assert set(self._keys(other)).isdisjoint(self._keys(self.SPEC))

@@ -1,0 +1,124 @@
+"""Trade-study aggregation and Pareto-front logic on synthetic payloads."""
+
+from repro.campaign import (
+    aggregate_points,
+    build_report,
+    pareto_front,
+    parse_spec,
+    render_report,
+    render_report_json,
+)
+
+
+def payload(oc, seed, status="ok", **metrics):
+    """A synthetic repro.campaign.result/1 payload for one point."""
+    defaults = {"cpu_utilization": 0.5, "mem_utilization": 0.4,
+                "evictions_per_machine_hour": 1.0,
+                "p95_queueing_delay_s": 10.0}
+    defaults.update(metrics)
+    return {"schema": "repro.campaign.result/1", "key": f"k{oc}-{seed}",
+            "point_id": 0, "params": {"overcommit_cpu": oc, "machines": 8},
+            "grid": {"overcommit_cpu": oc}, "seed": seed, "status": status,
+            "metrics": defaults if status == "ok" else {}, "error": None}
+
+
+class TestAggregate:
+    def test_mean_over_seeds(self):
+        rows = aggregate_points(
+            [payload(1.2, 0, cpu_utilization=0.4),
+             payload(1.2, 1, cpu_utilization=0.6),
+             payload(1.9, 0, cpu_utilization=0.7)],
+            grid_axes=["overcommit_cpu"])
+        assert len(rows) == 2
+        assert rows[0]["grid"] == {"overcommit_cpu": 1.2}
+        assert rows[0]["metrics"]["cpu_utilization"] == 0.5
+        assert rows[0]["seeds"] == [0, 1]
+        assert rows[1]["metrics"]["cpu_utilization"] == 0.7
+
+    def test_error_seeds_tracked_separately(self):
+        rows = aggregate_points(
+            [payload(1.2, 0), payload(1.2, 1, status="error")],
+            grid_axes=["overcommit_cpu"])
+        assert rows[0]["seeds"] == [0]
+        assert rows[0]["errors"] == [1]
+
+    def test_rows_in_first_seen_order(self):
+        rows = aggregate_points(
+            [payload(1.9, 0), payload(1.2, 0)],
+            grid_axes=["overcommit_cpu"])
+        assert [r["grid"]["overcommit_cpu"] for r in rows] == [1.9, 1.2]
+
+
+class TestParetoFront:
+    def test_dominated_point_excluded(self):
+        rows = aggregate_points(
+            [payload(1.2, 0, cpu_utilization=0.4,
+                     evictions_per_machine_hour=2.0,
+                     p95_queueing_delay_s=20.0),
+             payload(1.9, 0, cpu_utilization=0.5,
+                     evictions_per_machine_hour=1.0,
+                     p95_queueing_delay_s=10.0)],
+            grid_axes=["overcommit_cpu"])
+        assert pareto_front(rows) == [1]
+
+    def test_tradeoff_keeps_both(self):
+        # Higher utilization but worse evictions: neither dominates.
+        rows = aggregate_points(
+            [payload(1.2, 0, cpu_utilization=0.4,
+                     evictions_per_machine_hour=0.5),
+             payload(1.9, 0, cpu_utilization=0.6,
+                     evictions_per_machine_hour=2.0)],
+            grid_axes=["overcommit_cpu"])
+        assert pareto_front(rows) == [0, 1]
+
+    def test_identical_points_both_on_front(self):
+        rows = aggregate_points(
+            [payload(1.2, 0), payload(1.9, 0)],
+            grid_axes=["overcommit_cpu"])
+        assert pareto_front(rows) == [0, 1]
+
+    def test_all_error_row_never_on_front(self):
+        rows = aggregate_points(
+            [payload(1.2, 0), payload(1.9, 0, status="error")],
+            grid_axes=["overcommit_cpu"])
+        assert pareto_front(rows) == [0]
+
+
+class TestRendering:
+    SPEC = {
+        "campaign": "render-test",
+        "description": "synthetic",
+        "base": {"machines": 8, "hours": 2.0},
+        "grid": {"overcommit_cpu": [1.2, 1.9]},
+        "seeds": [0],
+    }
+
+    def test_text_report_shape(self):
+        spec = parse_spec(self.SPEC)
+        report = build_report(spec, [
+            payload(1.2, 0, cpu_utilization=0.4,
+                    evictions_per_machine_hour=2.0),
+            payload(1.9, 0, cpu_utilization=0.6,
+                    evictions_per_machine_hour=1.0)])
+        text = render_report(report)
+        assert "campaign render-test" in text
+        assert "Pareto front" in text
+        assert "overcommit_cpu" in text
+        # Only the dominating row is starred.
+        starred = [line for line in text.splitlines()
+                   if line.lstrip().startswith("*")]
+        assert len(starred) == 1 and "1.9" in starred[0]
+
+    def test_json_report_roundtrips(self):
+        import json
+        spec = parse_spec(self.SPEC)
+        report = build_report(spec, [payload(1.2, 0), payload(1.9, 0)])
+        decoded = json.loads(render_report_json(report))
+        assert decoded["pareto_front"] == [0, 1]
+        assert decoded["objectives"][0] == {"metric": "cpu_utilization",
+                                            "direction": "max"}
+
+    def test_empty_front_message(self):
+        spec = parse_spec(self.SPEC)
+        report = build_report(spec, [payload(1.2, 0, status="error")])
+        assert "empty" in render_report(report)

@@ -1,0 +1,112 @@
+"""Campaign spec parsing, validation, and deterministic grid expansion."""
+
+import pytest
+
+from repro.campaign import CampaignSpecError, load_spec, parse_spec
+from repro.campaign.spec import DEFAULT_PARAMS, MAX_POINTS
+
+
+def minimal(**overrides) -> dict:
+    spec = {"campaign": "t", "base": {"machines": 8, "hours": 2.0},
+            "grid": {"overcommit_cpu": [1.2, 1.9]}, "seeds": [0, 1]}
+    spec.update(overrides)
+    return spec
+
+
+class TestValidation:
+    def test_minimal_spec_parses(self):
+        spec = parse_spec(minimal())
+        assert spec.name == "t"
+        assert spec.seeds == (0, 1)
+        assert len(spec.points) == 4
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(CampaignSpecError, match="campaign"):
+            parse_spec({"grid": {}})
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown spec keys"):
+            parse_spec(minimal(extra=1))
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown campaign parameter"):
+            parse_spec(minimal(base={"warp_factor": 9}))
+        with pytest.raises(CampaignSpecError, match="unknown campaign parameter"):
+            parse_spec(minimal(grid={"warp_factor": [9]}))
+
+    def test_bad_values_rejected(self):
+        for base in ({"machines": 0}, {"machines": 2.5}, {"hours": -1},
+                     {"scale": 0}, {"era": "2025"}, {"cells": []},
+                     {"overcommit_cpu": 0.5}, {"machines": True}):
+            with pytest.raises(CampaignSpecError):
+                parse_spec(minimal(base=base))
+
+    def test_era_cell_consistency(self):
+        with pytest.raises(CampaignSpecError, match="unknown 2019 cells"):
+            parse_spec(minimal(base={"cells": ["z"]}))
+        with pytest.raises(CampaignSpecError, match="era 2011"):
+            parse_spec(minimal(base={"era": "2011", "cells": ["d"]}))
+        spec = parse_spec(minimal(base={"era": "2011", "cells": ["2011"]}))
+        assert spec.base["cells"] == ["2011"]
+
+    def test_cells_comma_string_normalized(self):
+        spec = parse_spec(minimal(base={"cells": "a,b"}))
+        assert spec.base["cells"] == ["a", "b"]
+
+    def test_seeds_validation(self):
+        with pytest.raises(CampaignSpecError, match="seeds"):
+            parse_spec(minimal(seeds=[]))
+        with pytest.raises(CampaignSpecError, match="seeds"):
+            parse_spec(minimal(seeds=[0, "x"]))
+        with pytest.raises(CampaignSpecError, match="duplicate"):
+            parse_spec(minimal(seeds=[0, 0]))
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(CampaignSpecError, match="non-empty list"):
+            parse_spec(minimal(grid={"overcommit_cpu": []}))
+
+    def test_point_explosion_capped(self):
+        grid = {"machines": list(range(1, MAX_POINTS + 2))}
+        with pytest.raises(CampaignSpecError, match="limit"):
+            parse_spec(minimal(grid=grid))
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignSpecError, match="not valid JSON"):
+            load_spec(path)
+
+
+class TestExpansion:
+    def test_full_resolution_of_params(self):
+        spec = parse_spec(minimal())
+        for point in spec.points:
+            assert set(point.params) == set(DEFAULT_PARAMS)
+
+    def test_expansion_order_axes_sorted_seeds_innermost(self):
+        spec = parse_spec(minimal(
+            grid={"overcommit_mem": [1.1, 1.8], "overcommit_cpu": [1.2]},
+            seeds=[5, 7]))
+        combos = [(p.grid_values["overcommit_cpu"],
+                   p.grid_values["overcommit_mem"], p.seed)
+                  for p in spec.points]
+        assert combos == [(1.2, 1.1, 5), (1.2, 1.1, 7),
+                          (1.2, 1.8, 5), (1.2, 1.8, 7)]
+        assert [p.point_id for p in spec.points] == [0, 1, 2, 3]
+
+    def test_gridless_spec_is_one_point_per_seed(self):
+        spec = parse_spec(minimal(grid={}, seeds=[0, 1, 2]))
+        assert len(spec.points) == 3
+        assert all(p.grid_values == {} for p in spec.points)
+
+    def test_keys_unique_across_points(self):
+        spec = parse_spec(minimal())
+        keys = [p.key for p in spec.points]
+        assert len(set(keys)) == len(keys)
+
+    def test_example_specs_parse(self):
+        from pathlib import Path
+        examples = Path(__file__).resolve().parents[1] / "examples"
+        for name in ("campaign_overcommit.json", "campaign_smoke.json"):
+            spec = load_spec(examples / name)
+            assert spec.points

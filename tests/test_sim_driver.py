@@ -92,3 +92,46 @@ class TestRunCells:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestEdgeCases:
+    """Degenerate inputs surfaced by the campaign runner: zero cells,
+    workers exceeding the cell count, non-positive worker counts."""
+
+    def test_empty_input_with_record_flushes_sink(self, tmp_path):
+        from repro.obs.recorder import RunRecorder
+        record = RunRecorder(tmp_path / "frames.jsonl")
+        assert run_cells([], workers=4, record=record) == []
+        record.close()
+        # The sink was flushed and closed: the file exists and is empty
+        # (no cells, no frames), not absent or half-buffered.
+        assert (tmp_path / "frames.jsonl").read_text() == ""
+
+    def test_workers_zero_and_negative_run_serial(self):
+        for workers in (0, -3):
+            # Fresh scenario per run: simulating mutates collection state.
+            scenario = small_test_scenario(seed=5, machines_per_cell=8,
+                                           horizon_hours=2.0)
+            with obs.scoped_registry() as registry:
+                [result] = run_cells([scenario], workers=workers)
+            assert result.counters.jobs_submitted > 0
+            # Serial path: no pool was ever spawned.
+            counters = registry.snapshot().counters
+            assert not counters.get("sim.parallel_batches")
+
+    def test_pool_never_exceeds_cell_count(self):
+        # 3 cells with workers=8 must spawn exactly 3 processes: the
+        # pool-size gauge records min(workers, cells), never idle extras.
+        with obs.scoped_registry() as registry:
+            results = run_cells(_scenarios(), workers=8)
+        assert len(results) == 3
+        assert registry.snapshot().gauges.get("sim.pool_workers") == 3
+
+    def test_recorded_pool_never_exceeds_cell_count(self, tmp_path):
+        from repro.obs.recorder import RunRecorder
+        record = RunRecorder(tmp_path / "frames.jsonl")
+        with obs.scoped_registry() as registry:
+            results = run_cells(_scenarios(), workers=16, record=record)
+        record.close()
+        assert len(results) == 3
+        assert registry.snapshot().gauges.get("sim.pool_workers") == 3
