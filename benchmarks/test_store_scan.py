@@ -25,9 +25,11 @@ from repro.store import Agg, Between, default_workers, open_store
 from repro.trace import encode_cell, load_trace, save_trace
 from repro.workload import scenarios_2019
 
-MACHINES = int(os.environ.get("REPRO_BENCH_STORE_MACHINES", "200"))
-HOURS = float(os.environ.get("REPRO_BENCH_STORE_HOURS", "48"))
-SCALE = float(os.environ.get("REPRO_BENCH_STORE_SCALE", "0.02"))
+# Bench-scale knobs, not simulation inputs: they size the fixture and are
+# echoed in the bench output, so reruns are comparable at equal settings.
+MACHINES = int(os.environ.get("REPRO_BENCH_STORE_MACHINES", "200"))  # repro: noqa[RPR008] bench size knob
+HOURS = float(os.environ.get("REPRO_BENCH_STORE_HOURS", "48"))  # repro: noqa[RPR008] bench size knob
+SCALE = float(os.environ.get("REPRO_BENCH_STORE_SCALE", "0.02"))  # repro: noqa[RPR008] bench size knob
 
 #: The query under test: CPU usage statistics over a window covering one
 #: twelfth of the horizon, starting mid-trace (4 hours at the default 48).

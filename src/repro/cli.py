@@ -34,7 +34,9 @@ campaign
 lint
     Run the repo's AST-based static-analysis pass (schema consistency,
     determinism, fork safety, exception hygiene, unit discipline, hot-
-    loop guards) over source files or directories.
+    loop guards, plus whole-program flow rules: determinism taint,
+    fork-share races, iteration-order stability) over source files or
+    directories, with content-hash incremental caching.
 """
 
 from __future__ import annotations
@@ -59,8 +61,10 @@ from repro.campaign import (
     render_report_json,
     run_campaign,
 )
-from repro.lint import iter_python_files, lint_file
+from repro.lint import DEFAULT_CACHE_DIR as LINT_CACHE_DIR
+from repro.lint import lint_project
 from repro.lint import render as render_lint
+from repro.lint.reporting import LintRunStats
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.recorder import (
     FRAMES_SCHEMA,
@@ -470,17 +474,23 @@ def _lint(args) -> int:
         select = sorted({rule_id.strip().upper()
                          for spec in args.select
                          for rule_id in spec.split(",") if rule_id.strip()})
-    violations = []
-    files_checked = 0
     try:
-        for path in iter_python_files(args.paths):
-            files_checked += 1
-            violations.extend(lint_file(path, select))
+        result = lint_project(args.paths, select=select,
+                              cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache,
+                              changed_only=args.changed_only)
     except (OSError, ValueError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
-    return render_lint(violations, files_checked, sys.stdout,
-                       format=args.format, statistics=args.statistics)
+    run_stats = LintRunStats(
+        files_analyzed=result.files_analyzed,
+        files_reused=result.files_reused,
+        rule_timings={rule_id: hist.summary()
+                      for rule_id, hist in result.timings.items()
+                      if hist.count})
+    return render_lint(result.violations, result.files_total, sys.stdout,
+                       format=args.format, statistics=args.statistics,
+                       run_stats=run_stats)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -649,7 +659,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_crep.set_defaults(func=_campaign_report)
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis rules (RPR001-RPR007)")
+        "lint", help="run the repo's static-analysis rules (RPR001-RPR010, "
+                     "incl. whole-program flow rules; incremental cache)")
     p_lint.add_argument("paths", nargs="+",
                         help="files or directories to lint (e.g. src/)")
     p_lint.add_argument("--format", choices=("text", "json"), default="text",
@@ -659,7 +670,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule ids to run "
                              "(default: all; repeatable)")
     p_lint.add_argument("--statistics", action="store_true",
-                        help="append per-rule violation counts (text format)")
+                        help="append per-rule violation counts and wall-time "
+                             "histograms (text format)")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the incremental cache "
+                             "(analyze every file)")
+    p_lint.add_argument("--changed-only", action="store_true",
+                        help="report only files re-analyzed this run "
+                             "(changed files + their reverse imports); "
+                             "the cache is still updated for the whole tree")
+    p_lint.add_argument("--cache-dir", default=LINT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"incremental cache directory "
+                             f"(default {LINT_CACHE_DIR})")
     p_lint.set_defaults(func=_lint)
 
     return parser

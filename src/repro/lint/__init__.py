@@ -5,18 +5,32 @@ runtime tests only probe pointwise: one canonical table schema, a
 deterministic simulator, picklable executor callables, honest exception
 handling, and named unit constants.  This package enforces them at zero
 runtime cost with a small rule engine (see :mod:`repro.lint.core`) and
-five repo-specific rules (see :mod:`repro.lint.rules`), wired into the
-``borg-repro lint`` CLI subcommand and CI.
+a catalogue of repo-specific rules (see :mod:`repro.lint.rules`), wired
+into the ``borg-repro lint`` CLI subcommand and CI.
+
+Two drivers share the rule registry.  The per-file driver
+(:func:`lint_paths`) parses each file in isolation and runs the
+syntactic rules (RPR001–RPR007).  The **project** driver
+(:func:`lint_project`) additionally builds an import/call graph over
+the whole tree (:mod:`repro.lint.graph`), runs the taint engine
+(:mod:`repro.lint.flow`) behind the whole-program rules
+(RPR008–RPR010), and caches results incrementally by content hash with
+import-graph invalidation (:mod:`repro.lint.cache`).
 
 Quick use::
 
-    from repro.lint import lint_paths
-    violations = lint_paths(["src"])          # all rules
-    violations = lint_paths(["src"], select=["RPR002"])
+    from repro.lint import lint_paths, lint_project
+    violations = lint_paths(["src"])          # per-file rules only
+    result = lint_project(["src"])            # all rules + cache
+    result = lint_project(["src"], select=["RPR008"], use_cache=False)
 
 Suppress a single finding with a line comment::
 
     window = horizon / 3600.0  # repro: noqa[RPR005] legacy figure script
+
+Flow-rule violations anchor at the line where the taint *enters* the
+file (the source), never the sink, so a ``noqa`` is always a judgement
+about exactly one source.
 """
 
 from repro.lint.core import (
@@ -41,12 +55,21 @@ from repro.lint.reporting import (
     render_text,
 )
 import repro.lint.rules  # noqa: F401,E402  (registers the built-in rules)
+from repro.lint.project import (  # noqa: E402
+    DEFAULT_CACHE_DIR,
+    ProjectContext,
+    ProjectLintResult,
+    lint_project,
+)
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "EXIT_CLEAN",
     "EXIT_ERROR",
     "EXIT_VIOLATIONS",
     "FileContext",
+    "ProjectContext",
+    "ProjectLintResult",
     "RULES",
     "Rule",
     "Violation",
@@ -54,6 +77,7 @@ __all__ = [
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "parse_noqa",
     "render",

@@ -1,0 +1,118 @@
+"""Incremental lint cache: content-hash keys, import-graph invalidation.
+
+Whole-program analysis makes every lint run touch every file — fine
+once, wasteful on every save and every CI push.  The cache stores, per
+file, its content hash, its module name, its direct project imports,
+and the violations the last run produced, under a signature that names
+the rule set (same content-addressed idea as the campaign cache keys,
+:mod:`repro.campaign.cache_key`: any semantic input to the result —
+file bytes, rule ids, rule summaries, cache schema — changes the key;
+formatting of the cache file itself never does).
+
+Invalidation is through the **import graph**: a file must be
+re-analyzed when its own content hash changes *or* when any module it
+transitively imports changes, because flow summaries (tainted returns,
+worker closures) travel along import edges.  The driver computes the
+dirty set as ``changed ∪ reverse-import-closure(changed)``; everything
+else reuses cached violations verbatim.  A warm run on an unchanged
+tree therefore re-analyzes zero files, and a one-file edit re-analyzes
+exactly that file plus its reverse dependencies — the acceptance
+contract this module exists to meet.
+
+Different rule selections keep different cache files side by side in
+the cache directory (CI lints ``src/`` with the full set and
+``tests/``+``benchmarks/`` with a curated subset without thrashing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Bump when the entry layout or the meaning of cached fields changes.
+CACHE_SCHEMA = "repro.lint.cache/1"
+
+#: Hex digits kept from each SHA-256 (matches the campaign key length).
+DIGEST_LENGTH = 16
+
+
+def file_digest(source: str) -> str:
+    """Content hash of one file's text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
+
+
+def cache_signature(rule_ids: Sequence[str],
+                    rule_summaries: Sequence[str]) -> str:
+    """The rule-set signature naming one cache file.
+
+    Summaries ride along so editing a rule's behaviour *description*
+    (which accompanies behaviour changes in this codebase) rolls the
+    cache; a full re-lint after a rules change is the safe default.
+    """
+    payload = json.dumps({
+        "schema": CACHE_SCHEMA,
+        "rules": sorted(zip(rule_ids, rule_summaries)),
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
+
+
+class LintCache:
+    """One rule-set's cache file: load, query, update, save atomically."""
+
+    def __init__(self, directory: Path, signature: str):
+        self.directory = Path(directory)
+        self.signature = signature
+        self.path = self.directory / f"lint-{signature}.json"
+        #: path string -> {"hash", "module", "imports", "violations"}.
+        self.entries: Dict[str, dict] = {}
+
+    def load(self) -> "LintCache":
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return self
+        if data.get("schema") != CACHE_SCHEMA \
+                or data.get("signature") != self.signature:
+            return self
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+        return self
+
+    def entry(self, path: str) -> Optional[dict]:
+        return self.entries.get(path)
+
+    def is_fresh(self, path: str, digest: str) -> bool:
+        entry = self.entries.get(path)
+        return entry is not None and entry.get("hash") == digest
+
+    def put(self, path: str, digest: str, module: str,
+            imports: Sequence[str], violations: List[dict]) -> None:
+        self.entries[path] = {
+            "hash": digest,
+            "module": module,
+            "imports": sorted(imports),
+            "violations": violations,
+        }
+
+    def prune(self, keep_paths: Sequence[str]) -> None:
+        """Drop entries for files that no longer exist in the lint set."""
+        keep = set(keep_paths)
+        for path in [p for p in self.entries if p not in keep]:
+            del self.entries[path]
+
+    def save(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA,
+            "signature": self.signature,
+            "entries": {path: self.entries[path]
+                        for path in sorted(self.entries)},
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, indent=1, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.path)

@@ -57,6 +57,10 @@ class FileContext:
     tree: ast.AST
     #: line number -> set of suppressed rule ids ("*" means all rules).
     noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Whole-program context (:class:`repro.lint.project.ProjectContext`)
+    #: when linting in project mode; None in per-file mode, where rules
+    #: with ``requires_project`` yield nothing.
+    project: Optional[object] = None
 
     @property
     def path_parts(self) -> Sequence[str]:
@@ -75,6 +79,9 @@ class Rule:
 
     id: str = ""
     summary: str = ""
+    #: Whole-program rules need ``FileContext.project`` (the import/call
+    #: graph + flow analyses) and are inert in per-file mode.
+    requires_project: bool = False
 
     def check(self, context: FileContext) -> Iterator[Violation]:
         raise NotImplementedError

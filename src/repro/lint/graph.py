@@ -1,0 +1,317 @@
+"""Project-wide import graph, symbol tables, and call resolution.
+
+The per-file rules (RPR001-RPR007) see one AST at a time; the flow
+rules (RPR008-RPR010) need to know what a call *refers to* across
+module boundaries — ``from repro.util.timeutil import hours`` followed
+by ``hours(x)`` is a call into another project module, and taint must
+follow it.  :class:`ProjectGraph` parses every file under the lint
+roots once and answers three questions:
+
+* **imports** — which project modules does module M import (directly or
+  transitively), and — the reverse index — who imports M?  The reverse
+  closure is what the incremental cache invalidates through: editing
+  ``repro/util/rng.py`` dirties every module that can observe it.
+* **symbols** — which module-level functions and classes does M define,
+  including re-exports (``repro/lint/__init__`` re-exporting
+  ``lint_paths`` from ``repro.lint.core`` resolves to the defining
+  module, following alias chains to a small depth).
+* **calls** — given a ``Call`` node in M, which project function does it
+  target?  Resolution is deliberately conservative: module-level
+  functions, classes (constructors), and ``Class.method`` attribute
+  chains through imports resolve; calls through arbitrary objects
+  (``obj.method()``) do not, and simply fall off the graph rather than
+  guessing.
+
+Everything here is pure static analysis over source text — no project
+module is ever imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.names import ImportMap, dotted_name
+
+#: How many re-export hops (``from .core import f`` chains) to follow.
+_MAX_ALIAS_DEPTH = 8
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of ``path``, found by walking up ``__init__.py``.
+
+    ``src/repro/sim/cell.py`` -> ``repro.sim.cell`` (``src`` has no
+    ``__init__.py``, so the package root is ``repro``); a bare script in
+    a non-package directory is just its stem.
+    """
+    path = Path(path)
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.resolve().parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts)
+
+
+class ModuleInfo:
+    """One parsed module: AST, imports, and module-level symbol table."""
+
+    __slots__ = ("name", "path", "source", "tree", "import_map", "imports",
+                 "functions", "classes", "global_values", "is_package")
+
+    def __init__(self, name: str, path: Path, source: str, tree: ast.Module):
+        self.name = name
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.is_package = path.name == "__init__.py"
+        self.import_map = ImportMap(tree)
+        #: Direct project-module dependencies (filled by the graph).
+        self.imports: Set[str] = set()
+        #: qualname -> def node; methods appear as ``Class.method``.
+        self.functions: Dict[str, ast.AST] = {}
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: module-level ``NAME = <expr>`` assignments: name -> value node.
+        self.global_values: Dict[str, ast.expr] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        self.functions[f"{node.name}.{item.name}"] = item
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.global_values[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                self.global_values[node.target.id] = node.value
+
+    def defines(self, name: str) -> bool:
+        return (name in self.functions or name in self.classes
+                or name in self.global_values)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def extract_imports(tree: ast.Module, package: str,
+                    known_modules: Set[str]) -> Set[str]:
+    """Project modules directly imported by ``tree``.
+
+    ``import a.b.c`` edges to the longest known prefix of ``a.b.c``;
+    ``from m import x`` edges to ``m.x`` when that is itself a project
+    module (importing a submodule) and to ``m`` when ``m`` is one
+    (importing a symbol).  Relative imports resolve against ``package``.
+    """
+    edges: Set[str] = set()
+
+    def add_longest_prefix(dotted: str) -> None:
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in known_modules:
+                edges.add(candidate)
+                return
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                add_longest_prefix(item.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                anchor = package.split(".") if package else []
+                anchor = anchor[:len(anchor) - (node.level - 1)] \
+                    if node.level > 1 else anchor
+                if not anchor:
+                    continue
+                base = ".".join(anchor + ([base] if base else []))
+            if not base:
+                continue
+            for item in node.names:
+                if item.name != "*" and f"{base}.{item.name}" in known_modules:
+                    edges.add(f"{base}.{item.name}")
+                else:
+                    add_longest_prefix(base)
+    return edges
+
+
+class ProjectGraph:
+    """All parsed modules plus import/reverse-import/call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self._by_path: Dict[str, ModuleInfo] = {}
+        #: Direct reverse-import edges: module -> modules importing it.
+        self._importers: Dict[str, Set[str]] = {}
+        #: All module names in the *project* (may exceed the parsed set
+        #: in incremental runs, where unchanged modules stay unparsed).
+        self.known_modules: Set[str] = set()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Iterable[Tuple[Path, str]]) -> "ProjectGraph":
+        """Parse ``(path, source)`` pairs and wire the import edges."""
+        graph = cls()
+        parsed: List[ModuleInfo] = []
+        for path, source in files:
+            info = graph.add_source(path, source)
+            if info is not None:
+                parsed.append(info)
+        graph.link()
+        return graph
+
+    def add_source(self, path: Path, source: str) -> Optional[ModuleInfo]:
+        """Parse and register one module (skips files with syntax errors)."""
+        path = Path(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            return None
+        info = ModuleInfo(module_name(path), path, source, tree)
+        self.modules[info.name] = info
+        self._by_path[str(path)] = info
+        self.known_modules.add(info.name)
+        return info
+
+    def declare_module(self, name: str) -> None:
+        """Register a module *name* without parsing it (incremental runs
+        pass the full project's names so import edges resolve even when
+        only a subset of files is parsed)."""
+        self.known_modules.add(name)
+
+    def link(self) -> None:
+        """(Re)compute import edges for every parsed module."""
+        self._importers = {}
+        for info in self.modules.values():
+            info.imports = extract_imports(info.tree, info.package,
+                                           self.known_modules)
+            info.imports.discard(info.name)
+            for dep in info.imports:
+                self._importers.setdefault(dep, set()).add(info.name)
+
+    # -- lookups -------------------------------------------------------------
+
+    def module_for_path(self, path: Path) -> Optional[ModuleInfo]:
+        return self._by_path.get(str(path))
+
+    def importers(self, name: str) -> Set[str]:
+        """Modules that directly import ``name``."""
+        return self._importers.get(name, set())
+
+    def reverse_closure(self, names: Iterable[str]) -> Set[str]:
+        """``names`` plus every module that transitively imports one."""
+        out: Set[str] = set()
+        frontier = list(names)
+        while frontier:
+            current = frontier.pop()
+            if current in out:
+                continue
+            out.add(current)
+            frontier.extend(self._importers.get(current, ()))
+        return out
+
+    def dependency_closure(self, names: Iterable[str]) -> Set[str]:
+        """``names`` plus everything they transitively import."""
+        out: Set[str] = set()
+        frontier = list(names)
+        while frontier:
+            current = frontier.pop()
+            if current in out:
+                continue
+            out.add(current)
+            info = self.modules.get(current)
+            if info is not None:
+                frontier.extend(info.imports)
+        return out
+
+    # -- symbol / call resolution --------------------------------------------
+
+    def resolve_symbol(self, dotted: str,
+                       _depth: int = 0) -> Optional[Tuple[ModuleInfo, str]]:
+        """``(module, qualname)`` a canonical dotted name refers to.
+
+        Splits ``dotted`` at its longest project-module prefix, then
+        looks the remainder up in that module's symbol table, following
+        re-export aliases (``from repro.lint.core import rule``) up to
+        :data:`_MAX_ALIAS_DEPTH` hops.
+        """
+        if _depth > _MAX_ALIAS_DEPTH:
+            return None
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:end])
+            info = self.modules.get(prefix)
+            if info is None:
+                continue
+            rest = parts[end:]
+            if not rest:
+                return (info, "")
+            qual = ".".join(rest)
+            if qual in info.functions or qual in info.classes \
+                    or qual in info.global_values:
+                return (info, qual)
+            # Re-export: the first component is an import alias there.
+            canonical = info.import_map.canonical(rest[0])
+            if canonical is not None:
+                chained = ".".join([canonical] + rest[1:])
+                return self.resolve_symbol(chained, _depth + 1)
+            return None
+        return None
+
+    def resolve_call(self, func: ast.AST,
+                     module: ModuleInfo) -> Optional[Tuple[ModuleInfo, str]]:
+        """The project function/class a call target refers to (or None).
+
+        Handles local defs (``helper()``), imported symbols
+        (``hours(x)`` after ``from repro.util.timeutil import hours``),
+        and dotted chains through module imports
+        (``timeutil.hours(x)``); calls through arbitrary runtime objects
+        stay unresolved.
+        """
+        if isinstance(func, ast.Name):
+            if module.import_map.canonical(func.id) is None \
+                    and (func.id in module.functions
+                         or func.id in module.classes):
+                return (module, func.id)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        canonical_root = module.import_map.canonical(root)
+        if canonical_root is not None:
+            canonical = f"{canonical_root}.{rest}" if rest else canonical_root
+        elif root in module.classes and rest:
+            # Same-module ``Class.method`` reference.
+            return (module, dotted) if dotted in module.functions else None
+        else:
+            canonical = dotted
+        resolved = self.resolve_symbol(canonical)
+        if resolved is not None and resolved[1]:
+            return resolved
+        return None
+
+    def project_functions(self) -> List[Tuple[ModuleInfo, str, ast.AST]]:
+        """Every function in the parsed set, deterministically ordered."""
+        out: List[Tuple[ModuleInfo, str, ast.AST]] = []
+        for name in sorted(self.modules):
+            info = self.modules[name]
+            for qual in sorted(info.functions):
+                out.append((info, qual, info.functions[qual]))
+        return out

@@ -1,0 +1,291 @@
+"""The whole-program lint driver: graph + flow + incremental cache.
+
+:func:`lint_project` is what ``borg-repro lint`` actually runs.  It
+extends the per-file driver (:func:`repro.lint.core.lint_source`) with
+everything the flow rules need:
+
+1. hash every file and split the set into *fresh* (cache hash matches)
+   and *changed*;
+2. dirty = changed ∪ reverse-import-closure(changed ∪ removed) — flow
+   facts travel along import edges, so everything that can observe a
+   change is re-analyzed and nothing else is;
+3. parse dirty ∪ its forward dependency closure into a
+   :class:`~repro.lint.graph.ProjectGraph` (analysis of a dirty file
+   needs its dependencies' summaries, not the whole tree);
+4. run every selected rule over each dirty file, timing each rule with
+   :mod:`repro.obs` histograms; reuse cached violations for the rest;
+5. write the cache back (content hashes, import edges, violations, and
+   cross-module runtime-write facts for RPR009).
+
+Suppression semantics are unchanged from per-file mode — and because
+flow violations anchor at the *source* line (where taint enters the
+file), a ``# repro: noqa[RPR008]`` is a judgement about one source: a
+suppression on a sink line hides nothing, and two sources reaching the
+same sink need two justifications.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
+from repro.lint.cache import LintCache, cache_signature, file_digest
+from repro.lint.core import (
+    FileContext,
+    Violation,
+    _selected_rules,
+    _suppressed,
+    iter_python_files,
+    parse_noqa,
+)
+from repro.lint.flow import FlowAnalysis, FlowSpec
+from repro.lint.graph import ProjectGraph, extract_imports, module_name
+from repro.obs.timing import TimingHistogram
+
+import ast
+
+#: Default cache location (kept out of the repo by .gitignore; CI
+#: persists it between runs and main runs with --no-cache).
+DEFAULT_CACHE_DIR = ".repro_lint_cache"
+
+
+class ProjectContext:
+    """What project-mode rules see via ``FileContext.project``."""
+
+    def __init__(self, graph: ProjectGraph,
+                 extra_global_writes: Optional[Set[Tuple[str, str]]] = None):
+        self.graph = graph
+        #: Runtime-write facts ``(module, global)`` recovered from cache
+        #: entries of files *not* parsed this run (see RPR009).
+        self.extra_global_writes: Set[Tuple[str, str]] = \
+            extra_global_writes or set()
+        self._memo: Dict[str, object] = {}
+
+    def flow(self, spec: FlowSpec) -> FlowAnalysis:
+        """The (memoized) taint fixpoint for one flow spec."""
+        key = f"flow.{spec.rule_id}"
+        if key not in self._memo:
+            self._memo[key] = FlowAnalysis(self.graph, spec)
+        return self._memo[key]  # type: ignore[return-value]
+
+    def memo(self, key: str, factory):
+        """Generic once-per-project memo for rule-owned analyses."""
+        if key not in self._memo:
+            self._memo[key] = factory()
+        return self._memo[key]
+
+
+@dataclass
+class ProjectLintResult:
+    """Everything the CLI reports: findings plus incremental accounting."""
+
+    violations: List[Violation]
+    files_total: int
+    files_analyzed: int
+    files_reused: int
+    #: rule id -> wall-time histogram over per-file check calls.
+    timings: Dict[str, TimingHistogram] = field(default_factory=dict)
+    analyzed_paths: List[str] = field(default_factory=list)
+
+
+def _violation_from_dict(data: dict) -> Violation:
+    return Violation(str(data["rule"]), str(data["path"]), int(data["line"]),
+                     int(data["column"]), str(data["message"]))
+
+
+def lint_project(paths: Iterable[Union[str, Path]],
+                 select: Optional[Sequence[str]] = None,
+                 cache_dir: Optional[Union[str, Path]] = DEFAULT_CACHE_DIR,
+                 use_cache: bool = True,
+                 changed_only: bool = False) -> ProjectLintResult:
+    """Lint ``paths`` with whole-program rules and incremental caching.
+
+    ``use_cache=False`` ignores and does not write the cache (every
+    file is analyzed).  ``changed_only=True`` restricts *reporting* to
+    the files analyzed this run (the dirty set) — the PR fast path;
+    the cache is still updated for everything.
+    """
+    checkers = _selected_rules(select)
+    rule_ids = [type(c).id for c in checkers]
+    signature = cache_signature(rule_ids, [type(c).summary for c in checkers])
+
+    files = list(iter_python_files(paths))
+    sources: Dict[str, str] = {}
+    digests: Dict[str, str] = {}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        sources[str(path)] = text
+        digests[str(path)] = file_digest(text)
+
+    caching = use_cache and cache_dir is not None
+    cache = LintCache(Path(cache_dir or DEFAULT_CACHE_DIR), signature)
+    if caching:
+        cache.load()
+
+    path_strs = [str(p) for p in files]
+    modnames = {s: module_name(Path(s)) for s in path_strs}
+    known_modules = set(modnames.values())
+
+    changed = [s for s in path_strs if not cache.is_fresh(s, digests[s])]
+    removed_modules = {entry.get("module", "")
+                       for path, entry in cache.entries.items()
+                       if path not in sources}
+
+    # Import edges for every current file: cached for fresh files,
+    # freshly parsed for changed ones (trees kept for the graph).
+    imports_by_module: Dict[str, Set[str]] = {}
+    changed_trees: Dict[str, Optional[ast.Module]] = {}
+    for s in path_strs:
+        name = modnames[s]
+        if s not in changed:
+            entry = cache.entry(s) or {}
+            imports_by_module[name] = set(entry.get("imports", ()))
+            continue
+        try:
+            tree = ast.parse(sources[s], filename=s)
+        except SyntaxError:
+            tree = None
+        changed_trees[s] = tree
+        if tree is None:
+            imports_by_module[name] = set()
+        else:
+            package = name if Path(s).name == "__init__.py" \
+                else name.rpartition(".")[0]
+            imports_by_module[name] = extract_imports(tree, package,
+                                                      known_modules)
+
+    importers: Dict[str, Set[str]] = {}
+    for name, deps in imports_by_module.items():
+        for dep in deps:
+            importers.setdefault(dep, set()).add(name)
+
+    dirty_modules: Set[str] = set()
+    frontier = [modnames[s] for s in changed] + sorted(removed_modules)
+    while frontier:
+        current = frontier.pop()
+        if current in dirty_modules:
+            continue
+        dirty_modules.add(current)
+        frontier.extend(importers.get(current, ()))
+
+    parse_modules: Set[str] = set()
+    frontier = sorted(dirty_modules)
+    while frontier:
+        current = frontier.pop()
+        if current in parse_modules:
+            continue
+        parse_modules.add(current)
+        frontier.extend(imports_by_module.get(current, ()))
+
+    dirty_paths = sorted(s for s in path_strs if modnames[s] in dirty_modules)
+
+    graph = ProjectGraph()
+    for name in known_modules:
+        graph.declare_module(name)
+    for s in path_strs:
+        if modnames[s] in parse_modules:
+            graph.add_source(Path(s), sources[s])
+    graph.link()
+
+    extra_writes: Set[Tuple[str, str]] = set()
+    for s in path_strs:
+        if modnames[s] in parse_modules:
+            continue
+        entry = cache.entry(s) or {}
+        for item in entry.get("global_writes", ()):
+            module_part, _, var = str(item).rpartition(":")
+            extra_writes.add((module_part, var))
+    context = ProjectContext(graph, extra_global_writes=extra_writes)
+
+    timings: Dict[str, TimingHistogram] = {tid: TimingHistogram()
+                                           for tid in rule_ids}
+
+    def timed(rule_id: str, fn):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        timings[rule_id].observe(elapsed)
+        obs.observe(f"lint.rule.{rule_id}", elapsed)
+        return result
+
+    if dirty_paths:
+        for checker in checkers:
+            warm = getattr(checker, "warm", None)
+            if warm is not None:
+                timed(type(checker).id, lambda w=warm: w(context))
+
+    violations: List[Violation] = []
+    fresh_count = 0
+    with obs.span("lint.project"):
+        for s in dirty_paths:
+            file_violations = _analyze_file(s, sources[s], context, checkers,
+                                            changed_trees, timed)
+            violations.extend(file_violations)
+            cache.put(s, digests[s], modnames[s],
+                      sorted(imports_by_module.get(modnames[s], ())),
+                      [v.to_dict() for v in file_violations])
+        for s in path_strs:
+            if modnames[s] in dirty_modules:
+                continue
+            fresh_count += 1
+            if not changed_only:
+                entry = cache.entry(s) or {}
+                violations.extend(_violation_from_dict(v)
+                                  for v in entry.get("violations", ()))
+
+    share = context._memo.get("rpr009.share")
+    if share is not None:
+        writes_by_module = getattr(share, "writes_by_module", {})
+        for s in dirty_paths:
+            entry = cache.entry(s)
+            if entry is not None:
+                entry["global_writes"] = sorted(
+                    f"{mod}:{var}"
+                    for mod, var in writes_by_module.get(modnames[s], ()))
+
+    if caching:
+        cache.prune(path_strs)
+        cache.save()
+
+    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    obs.inc("lint.files_analyzed", len(dirty_paths))
+    obs.inc("lint.files_reused", fresh_count)
+    return ProjectLintResult(
+        violations=violations,
+        files_total=len(dirty_paths) if changed_only else len(path_strs),
+        files_analyzed=len(dirty_paths),
+        files_reused=fresh_count,
+        timings=timings,
+        analyzed_paths=dirty_paths,
+    )
+
+
+def _analyze_file(path_str: str, source: str, context: ProjectContext,
+                  checkers, changed_trees, timed) -> List[Violation]:
+    path = Path(path_str)
+    if path_str in changed_trees:
+        tree = changed_trees[path_str]
+    else:
+        info = context.graph.module_for_path(path)
+        tree = info.tree if info is not None else None
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path_str)
+        except SyntaxError as exc:
+            return [Violation("RPR000", path_str, exc.lineno or 1,
+                              (exc.offset or 0) or 1,
+                              f"syntax error: {exc.msg}")]
+    file_context = FileContext(path=path, source=source, tree=tree,
+                               noqa=parse_noqa(source), project=context)
+    out: List[Violation] = []
+    for checker in checkers:
+        rule_id = type(checker).id
+        found = timed(rule_id,
+                      lambda c=checker: list(c.check(file_context)))
+        out.extend(v for v in found
+                   if not _suppressed(v, file_context.noqa))
+    out.sort(key=lambda v: (v.line, v.column, v.rule))
+    return out

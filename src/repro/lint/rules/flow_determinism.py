@@ -1,0 +1,111 @@
+"""RPR008 — determinism taint: nondeterminism may not reach sim state.
+
+RPR002 polices *direct* wall-clock and global-RNG use inside
+``repro.sim``/``repro.workload``, one file at a time.  It is blind to
+the cross-module version of the same bug: a helper in ``repro.util``
+that returns ``time.time()``, called from the simulator; an env-derived
+default threaded through a constructor; an unseeded
+``default_rng()`` minted three calls away from the event loop.  This
+rule runs the :mod:`repro.lint.flow` taint engine over the whole
+project: nondeterminism *sources* (wall clocks, global/unseeded RNG,
+``os.urandom``/``uuid``/``secrets`` entropy, environment reads) taint
+values through assignments and call returns, and a violation fires when
+a tainted value
+
+* is passed as an argument to any function or constructor defined in
+  ``repro.sim``, ``repro.workload``, or ``repro.analysis`` (the
+  golden-figure reducers), from anywhere in the project, or
+* arrives inside ``repro.sim``/``repro.workload`` as the return value
+  of a project call (nondeterminism imported into simulator scope).
+
+Violations anchor at the line where the taint enters the reported file
+(the source expression or the importing call), so a ``noqa`` is always
+a judgement about a specific source, never a blanket on a sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from repro.lint.core import rule
+from repro.lint.flow import FlowRule, FlowSpec
+from repro.lint.graph import ModuleInfo
+from repro.lint.rules.determinism import NP_RANDOM_ALLOWED, WALL_CLOCKS
+
+#: Module prefixes whose functions/constructors are taint sinks.
+SINK_PREFIXES = ("repro.sim", "repro.workload", "repro.analysis")
+
+#: Module prefixes where *receiving* a tainted return value violates.
+SCOPE_PREFIXES = ("repro.sim", "repro.workload")
+
+#: Entropy / identity sources beyond RPR002's wall-clock + RNG lists.
+ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+
+def _in_prefixes(name: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(name == p or name.startswith(p + ".") for p in prefixes)
+
+
+class DeterminismTaintSpec(FlowSpec):
+    rule_id = "RPR008"
+
+    def source_call(self, canonical: Optional[str],
+                    call: ast.Call) -> Optional[str]:
+        if canonical is None:
+            return None
+        if canonical in WALL_CLOCKS:
+            return f"wall-clock read {canonical}()"
+        if canonical == "random" or (canonical.startswith("random.")
+                                     and canonical != "random.Random"):
+            return f"global-state RNG {canonical}()"
+        if canonical.startswith("numpy.random."):
+            attr = canonical[len("numpy.random."):]
+            if attr == "default_rng":
+                if not call.args and not call.keywords:
+                    return "unseeded numpy.random.default_rng()"
+                return None
+            if attr not in NP_RANDOM_ALLOWED:
+                return f"legacy/global numpy RNG {canonical}()"
+        if canonical in ENTROPY_CALLS or canonical.startswith("secrets."):
+            return f"entropy source {canonical}()"
+        if canonical == "os.getenv":
+            return "environment read os.getenv()"
+        return None
+
+    def source_expr(self, node: ast.expr,
+                    canonical: Optional[str]) -> Optional[str]:
+        if canonical is not None and (canonical == "os.environ"
+                                      or canonical.startswith("os.environ.")):
+            return "environment read os.environ"
+        return None
+
+    def sink_call(self, canonical, resolved, call, module) -> Optional[str]:
+        if resolved is None:
+            return None
+        callee, qual = resolved
+        if _in_prefixes(callee.name, SINK_PREFIXES):
+            return f"{callee.name}.{qual}()"
+        return None
+
+    def call_site_sink(self, resolved, summary: Optional[str],
+                       module: ModuleInfo) -> Optional[str]:
+        if summary is None or resolved is None:
+            return None
+        if _in_prefixes(module.name, SCOPE_PREFIXES) \
+                and not _in_prefixes(resolved[0].name, SCOPE_PREFIXES):
+            return f"simulator scope ({module.name})"
+        return None
+
+    def advice(self) -> str:
+        return ("simulation state, event payloads, and figure reducers "
+                "must be pure functions of the scenario and its seed — "
+                "inject an np.random.Generator or pass simulated time")
+
+
+@rule
+class DeterminismTaintRule(FlowRule):
+    id = "RPR008"
+    summary = ("nondeterministic value (wall clock, global/unseeded RNG, "
+               "entropy, env read) flows into sim/workload/analysis state")
+    spec = DeterminismTaintSpec()

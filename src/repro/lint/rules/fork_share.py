@@ -1,0 +1,399 @@
+"""RPR009 — fork-share races: no parent-process globals in worker code.
+
+The store executor, the multi-cell sim driver, and the campaign runner
+all fan work out over ``multiprocessing`` pools.  Under ``fork`` start
+methods a worker begins with a *copy* of the parent's memory: a
+module-level dict the parent mutated is silently stale in the worker,
+a dict the worker mutates silently never reaches the parent, and under
+``spawn`` the same global is re-created empty — three different
+behaviours for one line of code, none of them an error message.  The
+sanctioned escape is the scoped-registry pattern
+(:func:`repro.obs.registry.scoped_registry`): workers record into a
+fresh registry and ship an explicit snapshot home.
+
+This rule finds every function *submitted to a pool* (``map_reduce``
+callables, ``pool.imap``/``map``/``apply_async``/... targets, through
+``functools.partial`` and local aliases), takes the transitive closure
+over the project call graph, and inside that worker-callable set flags
+direct reads and writes of module-level **mutable** state — dict/list/
+set displays and constructors, and instances of project classes —
+whenever that state is also written at runtime somewhere in the
+project (writes in worker code are flagged unconditionally).  Globals
+defined in ``repro.obs.registry`` itself are exempt: they *are* the
+pattern.
+
+Like the other flow rules this is whole-program: the submission site,
+the worker function, and the shared global are routinely in three
+different files, which is exactly why the per-file RPR003 cannot see
+the race.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from repro.lint.core import FileContext, Rule, Violation, rule
+from repro.lint.flow import Hit
+from repro.lint.graph import ModuleInfo, ProjectGraph
+from repro.lint.names import dotted_name
+
+#: Pool-submission attribute methods that always take a callable first.
+POOL_METHODS = frozenset({"imap", "imap_unordered", "map_async",
+                          "starmap", "starmap_async", "apply_async"})
+#: Generic names that only count on pool/executor-ish receivers.
+POOL_METHODS_GUARDED = frozenset({"map", "apply", "submit"})
+#: The store executor's fan-out entry (see RPR003).
+EXECUTOR_METHODS = frozenset({"map_reduce"})
+EXECUTOR_KEYWORDS = ("map_fn", "reduce_fn")
+
+#: Constructor calls producing shared-mutable module state.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "collections.defaultdict",
+    "collections.OrderedDict", "collections.deque", "collections.Counter",
+})
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "update", "clear", "pop", "popleft",
+    "popitem", "setdefault", "extend", "remove", "discard", "insert",
+})
+
+#: The scoped-registry implementation is the sanctioned shared state.
+EXEMPT_MODULES = frozenset({"repro.obs.registry"})
+
+_MAX_ALIAS_HOPS = 3
+
+
+class _Global(NamedTuple):
+    module: str
+    name: str
+
+
+class _Access(NamedTuple):
+    target: _Global
+    line: int
+    col: int
+    kind: str  # "read" | "write"
+
+
+def _mutable_globals(info: ModuleInfo, graph: ProjectGraph) -> Set[str]:
+    """Names of ``info``'s module-level assignments holding mutable state."""
+    out: Set[str] = set()
+    for name, value in info.global_values.items():
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                              ast.SetComp, ast.DictComp)):
+            out.add(name)
+        elif isinstance(value, ast.Call):
+            canonical = _canonical(value.func, info)
+            if canonical in MUTABLE_CONSTRUCTORS:
+                out.add(name)
+                continue
+            resolved = graph.resolve_call(value.func, info)
+            if resolved is not None and resolved[1] in resolved[0].classes:
+                out.add(name)
+    return out
+
+
+def _canonical(node: ast.AST, info: ModuleInfo) -> Optional[str]:
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    canonical_root = info.import_map.canonical(root)
+    if canonical_root is None:
+        return dotted
+    return f"{canonical_root}.{rest}" if rest else canonical_root
+
+
+def _local_names(fn: ast.AST) -> Set[str]:
+    """Names bound locally in ``fn`` (params + assignments), minus any
+    declared ``global``."""
+    out: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            out.add(a.arg)
+        if args.vararg is not None:
+            out.add(args.vararg.arg)
+        if args.kwarg is not None:
+            out.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    out.add(name_node.id)
+    return out - declared_global
+
+
+class _ShareAnalysis:
+    """Project-wide pieces: worker closure, globals, accesses per function."""
+
+    def __init__(self, graph: ProjectGraph,
+                 extra_written: Optional[Set[Tuple[str, str]]] = None):
+        self.graph = graph
+        #: (module, name) of every tracked mutable global.
+        self.mutables: Set[_Global] = set()
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            if info.name in EXEMPT_MODULES:
+                continue
+            for var in _mutable_globals(info, graph):
+                self.mutables.add(_Global(info.name, var))
+        #: function key -> accesses of tracked globals inside it.
+        self.accesses: Dict[Tuple[str, str], List[_Access]] = {}
+        #: globals written at runtime (from any project function).
+        self.runtime_written: Set[_Global] = set()
+        #: defining module -> globals its functions write (cache fact,
+        #: so incremental runs see writers outside the parsed slice).
+        self.writes_by_module: Dict[str, Set[Tuple[str, str]]] = {}
+        for info, qual, node in graph.project_functions():
+            found = self._scan_function(info, node)
+            if found:
+                self.accesses[(info.name, qual)] = found
+                for access in found:
+                    if access.kind == "write":
+                        self.runtime_written.add(access.target)
+                        self.writes_by_module.setdefault(info.name, set()).add(
+                            (access.target.module, access.target.name))
+        # Runtime-write facts recovered from cache entries of files not
+        # parsed this run keep warm results identical to cold ones.
+        for module_part, var in (extra_written or ()):
+            self.runtime_written.add(_Global(module_part, var))
+        #: worker-callable closure: function key -> entry description.
+        self.worker_entry: Dict[Tuple[str, str], str] = {}
+        self._build_closure()
+        #: module name -> hits, computed once per project.
+        self.hits_by_module: Dict[str, List[Hit]] = self._hits()
+
+    # -- accesses ------------------------------------------------------------
+
+    def _resolve_ref(self, node: ast.AST,
+                     info: ModuleInfo,
+                     local: Set[str]) -> Optional[_Global]:
+        """The tracked global a Name/Attribute reference points at."""
+        if isinstance(node, ast.Name):
+            if node.id in local:
+                return None
+            candidate = _Global(info.name, node.id)
+            return candidate if candidate in self.mutables else None
+        if isinstance(node, ast.Attribute):
+            canonical = _canonical(node, info)
+            if canonical is None:
+                return None
+            module_part, _, attr = canonical.rpartition(".")
+            candidate = _Global(module_part, attr)
+            return candidate if candidate in self.mutables else None
+        return None
+
+    def _scan_function(self, info: ModuleInfo,
+                       fn: ast.AST) -> List[_Access]:
+        local = _local_names(fn)
+        declared_global: Set[str] = set()
+        out: List[_Access] = []
+
+        def ref(node: ast.AST) -> Optional[_Global]:
+            return self._resolve_ref(node, info, local)
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        # Receivers already accounted for by an enclosing mutator call or
+        # subscript (their Name/Attribute children appear later in the
+        # walk) — one syntactic access, one recorded access.
+        consumed: Set[int] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and node.id in declared_global \
+                    and isinstance(node.ctx, (ast.Store, ast.Del)):
+                # Rebinding any module global from a function is a
+                # runtime write, mutable value-shape or not.
+                out.append(_Access(_Global(info.name, node.id), node.lineno,
+                                   node.col_offset, "write"))
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATOR_METHODS:
+                consumed.add(id(node.func))
+                consumed.add(id(node.func.value))
+                target = ref(node.func.value)
+                if target is not None:
+                    out.append(_Access(target, node.lineno,
+                                       node.col_offset, "write"))
+            elif isinstance(node, ast.Subscript):
+                consumed.add(id(node.value))
+                target = ref(node.value)
+                if target is not None:
+                    kind = "write" if isinstance(node.ctx,
+                                                 (ast.Store, ast.Del)) \
+                        else "read"
+                    out.append(_Access(target, node.lineno,
+                                       node.col_offset, kind))
+            elif isinstance(node, (ast.Name, ast.Attribute)) \
+                    and isinstance(getattr(node, "ctx", None), ast.Load) \
+                    and id(node) not in consumed:
+                target = ref(node)
+                if target is not None:
+                    out.append(_Access(target, node.lineno,
+                                       node.col_offset, "read"))
+        return out
+
+    # -- worker closure ------------------------------------------------------
+
+    def _callable_ref(self, node: ast.AST, info: ModuleInfo,
+                      local_assigns: Dict[str, ast.AST],
+                      hops: int = 0) -> Optional[Tuple[ModuleInfo, str]]:
+        """Resolve a callable argument to a project function, through
+        ``functools.partial`` wrappers and simple local aliases."""
+        if hops > _MAX_ALIAS_HOPS:
+            return None
+        if isinstance(node, ast.Call):
+            canonical = _canonical(node.func, info)
+            if canonical is not None and canonical.endswith("partial") \
+                    and node.args:
+                return self._callable_ref(node.args[0], info, local_assigns,
+                                          hops + 1)
+            return None
+        if isinstance(node, ast.Name) and node.id in local_assigns:
+            return self._callable_ref(local_assigns[node.id], info,
+                                      local_assigns, hops + 1)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return self.graph.resolve_call(node, info)
+        return None
+
+    def _submission_seeds(self) -> List[Tuple[ModuleInfo, str, str]]:
+        """(callee module, callee qualname, entry description) for every
+        callable handed to a pool anywhere in the project."""
+        seeds: List[Tuple[ModuleInfo, str, str]] = []
+        for info, qual, fn in self.graph.project_functions():
+            local_assigns: Dict[str, ast.AST] = {}
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    local_assigns[node.targets[0].id] = node.value
+            for call in ast.walk(fn):
+                if not (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)):
+                    continue
+                attr = call.func.attr
+                candidates: List[ast.AST] = []
+                if attr in EXECUTOR_METHODS:
+                    candidates = list(call.args[:2])
+                    candidates += [kw.value for kw in call.keywords
+                                   if kw.arg in EXECUTOR_KEYWORDS]
+                elif attr in POOL_METHODS:
+                    candidates = list(call.args[:1])
+                    candidates += [kw.value for kw in call.keywords
+                                   if kw.arg == "func"]
+                elif attr in POOL_METHODS_GUARDED:
+                    receiver = dotted_name(call.func.value) or ""
+                    if "pool" in receiver.lower() \
+                            or "executor" in receiver.lower():
+                        candidates = list(call.args[:1])
+                if not candidates:
+                    continue
+                entry = f"{info.name}.{qual}"
+                for candidate in candidates:
+                    resolved = self._callable_ref(candidate, info,
+                                                  local_assigns)
+                    if resolved is not None:
+                        seeds.append((resolved[0], resolved[1], entry))
+        return seeds
+
+    def _build_closure(self) -> None:
+        frontier: List[Tuple[ModuleInfo, str, str]] = []
+        for callee_info, callee_qual, entry in self._submission_seeds():
+            qual = callee_qual
+            if qual in callee_info.classes:
+                qual = f"{callee_qual}.__init__"
+            if qual not in callee_info.functions:
+                continue
+            frontier.append((callee_info, qual, entry))
+        while frontier:
+            info, qual, entry = frontier.pop()
+            key = (info.name, qual)
+            if key in self.worker_entry:
+                continue
+            self.worker_entry[key] = entry
+            fn = info.functions.get(qual)
+            if fn is None:
+                continue
+            for call in ast.walk(fn):
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved = self.graph.resolve_call(call.func, info)
+                if resolved is None:
+                    continue
+                callee_info, callee_qual = resolved
+                if callee_qual in callee_info.classes:
+                    callee_qual = f"{callee_qual}.__init__"
+                if callee_qual in callee_info.functions:
+                    frontier.append((callee_info, callee_qual, entry))
+
+    # -- verdicts ------------------------------------------------------------
+
+    def _hits(self) -> Dict[str, List[Hit]]:
+        """module name -> flow hits for worker-side global accesses."""
+        out: Dict[str, List[Hit]] = {}
+        for key, entry in sorted(self.worker_entry.items()):
+            accesses = self.accesses.get(key, [])
+            for access in accesses:
+                if access.target.module in EXEMPT_MODULES:
+                    # The scoped-registry implementation rebinds its own
+                    # global by design; that IS the sanctioned pattern.
+                    continue
+                if access.kind == "read" \
+                        and access.target not in self.runtime_written:
+                    # Populated once at import time (a registry): every
+                    # process sees the same contents; reads are safe.
+                    continue
+                module_name, qual = key
+                verb = "writes" if access.kind == "write" else "reads"
+                message = (
+                    f"worker-callable {qual}() (reaches a process pool via "
+                    f"{entry}()) {verb} module-level mutable "
+                    f"'{access.target.name}' of {access.target.module}; "
+                    f"parent and worker copies diverge across fork/spawn — "
+                    f"use the scoped-registry pattern "
+                    f"(repro.obs.registry.scoped_registry) or pass state "
+                    f"through task payloads and returns")
+                out.setdefault(module_name, []).append(
+                    Hit(access.line, access.col + 1, message))
+        for module_name in out:
+            out[module_name] = sorted(set(out[module_name]))
+        return out
+
+
+@rule
+class ForkShareRule(Rule):
+    id = "RPR009"
+    summary = ("worker-callable code touches module-level mutable state; "
+               "fork/spawn copies diverge — use scoped registries or "
+               "explicit task payloads")
+    requires_project = True
+
+    @staticmethod
+    def _analysis(project) -> _ShareAnalysis:
+        return project.memo(
+            "rpr009.share",
+            lambda: _ShareAnalysis(
+                project.graph,
+                extra_written=getattr(project, "extra_global_writes", None)))
+
+    def warm(self, project) -> None:
+        self._analysis(project)
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        project = context.project
+        if project is None:
+            return
+        info = project.graph.module_for_path(context.path)
+        if info is None:
+            return
+        analysis = self._analysis(project)
+        for hit in analysis.hits_by_module.get(info.name, []):
+            yield Violation(self.id, str(context.path), hit.line, hit.col,
+                            hit.message)

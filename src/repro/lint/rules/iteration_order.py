@@ -1,0 +1,95 @@
+"""RPR010 — iteration-order stability: no unordered data in output.
+
+Python sets iterate in hash order, and string hashing is randomized per
+process (``PYTHONHASHSEED``); directory listings come back in
+filesystem order.  A list built from either is a different list on the
+next run — harmless until it lands in something we diff byte-for-byte:
+a golden-figure JSON, a flight-recorder frame, a campaign cache key.
+The per-file rules cannot see the hop from ``list({...})`` in one
+module to ``json.dumps(...)`` in another; this rule runs the
+:mod:`repro.lint.flow` engine with *unordered iteration* as the taint:
+
+* **sources** — set displays and comprehensions, ``set(...)`` /
+  ``frozenset(...)``, ``os.listdir`` / ``os.scandir``,
+  ``glob.glob`` / ``glob.iglob``, and ``.iterdir()`` / ``.glob()`` /
+  ``.rglob()`` path methods;
+* **sanitizer** — ``sorted(...)`` (and order-free reductions such as
+  ``len``/``sum``/``min``/``max`` are neutral);
+* **sinks** — ``json.dump`` / ``json.dumps`` and the campaign cache-key
+  functions (``canonical_json`` / ``point_key`` / ``normalize``), whose
+  list order feeds content-addressed keys.
+
+Anchored at the unordered source, not the sink: the fix is almost
+always a ``sorted()`` at the point where order is surrendered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.core import rule
+from repro.lint.flow import FlowRule, FlowSpec
+
+#: Canonical call names that produce unordered (hash-order) collections.
+UNORDERED_CALLS = frozenset({"set", "frozenset"})
+
+#: Canonical call names that produce filesystem-order listings.
+FS_ORDER_CALLS = frozenset({"os.listdir", "os.scandir",
+                            "glob.glob", "glob.iglob"})
+
+#: Method names (on any receiver) that walk the filesystem unsorted.
+FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: JSON/serialization entry points whose arguments must be order-stable.
+JSON_SINKS = frozenset({"json.dump", "json.dumps"})
+
+#: Project functions whose arguments feed content-addressed cache keys.
+KEY_SINK_MODULE = "repro.campaign.cache_key"
+KEY_SINK_FUNCTIONS = frozenset({"canonical_json", "point_key", "normalize"})
+
+
+class IterationOrderSpec(FlowSpec):
+    rule_id = "RPR010"
+    sanitizers = frozenset({"sorted"})
+    neutral = frozenset({"len", "sum", "min", "max", "any", "all"})
+
+    def source_call(self, canonical: Optional[str],
+                    call: ast.Call) -> Optional[str]:
+        if canonical in UNORDERED_CALLS:
+            return f"unordered {canonical}(...)"
+        if canonical in FS_ORDER_CALLS:
+            return f"filesystem-order {canonical}()"
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr in FS_ORDER_METHODS:
+            return f"filesystem-order .{call.func.attr}()"
+        return None
+
+    def source_expr(self, node: ast.expr,
+                    canonical: Optional[str]) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "unordered set literal"
+        if isinstance(node, ast.SetComp):
+            return "unordered set comprehension"
+        return None
+
+    def sink_call(self, canonical, resolved, call, module) -> Optional[str]:
+        if canonical in JSON_SINKS:
+            return f"JSON emission {canonical}()"
+        if resolved is not None and resolved[0].name == KEY_SINK_MODULE \
+                and resolved[1] in KEY_SINK_FUNCTIONS:
+            return (f"the content-addressed cache key "
+                    f"({KEY_SINK_MODULE}.{resolved[1]}())")
+        return None
+
+    def advice(self) -> str:
+        return ("byte-identical reruns require a stable order — wrap the "
+                "unordered iterable in sorted() before it is serialized")
+
+
+@rule
+class IterationOrderRule(FlowRule):
+    id = "RPR010"
+    summary = ("unordered iteration (set / filesystem order) flows into "
+               "JSON or cache-key output without sorted()")
+    spec = IterationOrderSpec()

@@ -385,12 +385,16 @@ class TestScan:
         path, ds = store_dir
         store = open_store(path)
         scan = store.scan("instance_usage").select("avg_cpu")
-        total = scan.map_reduce(_chunk_cpu_sum, lambda a, b: a + b)
+        total = scan.map_reduce(_chunk_cpu_sum, _add)
         assert total == pytest.approx(ds.instance_usage.column("avg_cpu").values.sum())
 
 
 def _chunk_cpu_sum(table):
     return float(table.column("avg_cpu").values.sum())
+
+
+def _add(a, b):
+    return a + b
 
 
 class TestExecutor:
