@@ -11,13 +11,21 @@ formatting of the cache file itself never does).
 
 Invalidation is through the **import graph**: a file must be
 re-analyzed when its own content hash changes *or* when any module it
-transitively imports changes, because flow summaries (tainted returns,
-worker closures) travel along import edges.  The driver computes the
-dirty set as ``changed ∪ reverse-import-closure(changed)``; everything
-else reuses cached violations verbatim.  A warm run on an unchanged
-tree therefore re-analyzes zero files, and a one-file edit re-analyzes
-exactly that file plus its reverse dependencies — the acceptance
-contract this module exists to meet.
+transitively imports changes, because forward-flow facts (tainted
+returns, symbol resolution) travel along import edges.  The driver
+computes the dirty set as ``changed ∪ reverse-import-closure(changed)``
+and reuses cached violations for the rest — except RPR009, whose facts
+flow *against* import edges: its entries carry a per-file fact summary
+(``rpr009``) instead, and the driver recomputes its verdict map
+globally from summaries on every run, rewriting any stale entry.  A
+warm run on an unchanged tree therefore re-analyzes zero files, and a
+one-file edit re-analyzes that file plus its reverse dependencies plus
+whatever files the edit's fork-share facts actually reverdict — the
+acceptance contract this module exists to meet.
+
+The signature also folds in a digest of the ``repro.lint`` package
+sources, so pulling an engine fix (graph/flow/rule logic) rolls local
+developer caches even when no rule id or summary string changed.
 
 Different rule selections keep different cache files side by side in
 the cache directory (CI lints ``src/`` with the full set and
@@ -33,15 +41,38 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 #: Bump when the entry layout or the meaning of cached fields changes.
-CACHE_SCHEMA = "repro.lint.cache/1"
+CACHE_SCHEMA = "repro.lint.cache/2"
 
 #: Hex digits kept from each SHA-256 (matches the campaign key length).
 DIGEST_LENGTH = 16
+
+#: Memoized digest of the repro.lint package sources (None = unset).
+_ENGINE_DIGEST: Optional[str] = None
 
 
 def file_digest(source: str) -> str:
     """Content hash of one file's text."""
     return hashlib.sha256(source.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
+
+
+def engine_digest() -> str:
+    """Content digest of the whole ``repro.lint`` package.
+
+    Any change to the analysis engine — graph, flow, cache, or rule
+    logic that does not touch a rule's summary string — must roll every
+    cache, or a warm run keeps serving results the old engine computed.
+    """
+    global _ENGINE_DIGEST
+    if _ENGINE_DIGEST is None:
+        package_root = Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for source_path in sorted(package_root.rglob("*.py")):
+            hasher.update(str(source_path.relative_to(package_root)).encode())
+            hasher.update(b"\0")
+            hasher.update(source_path.read_bytes())
+            hasher.update(b"\0")
+        _ENGINE_DIGEST = hasher.hexdigest()[:DIGEST_LENGTH]
+    return _ENGINE_DIGEST
 
 
 def cache_signature(rule_ids: Sequence[str],
@@ -50,10 +81,12 @@ def cache_signature(rule_ids: Sequence[str],
 
     Summaries ride along so editing a rule's behaviour *description*
     (which accompanies behaviour changes in this codebase) rolls the
-    cache; a full re-lint after a rules change is the safe default.
+    cache, and the engine digest rolls it when the analysis code itself
+    changes; a full re-lint after any lint change is the safe default.
     """
     payload = json.dumps({
         "schema": CACHE_SCHEMA,
+        "engine": engine_digest(),
         "rules": sorted(zip(rule_ids, rule_summaries)),
     }, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
@@ -66,7 +99,8 @@ class LintCache:
         self.directory = Path(directory)
         self.signature = signature
         self.path = self.directory / f"lint-{signature}.json"
-        #: path string -> {"hash", "module", "imports", "violations"}.
+        #: path string -> {"hash", "module", "imports", "violations"}
+        #: plus, when RPR009 is in the rule set, its "rpr009" summary.
         self.entries: Dict[str, dict] = {}
 
     def load(self) -> "LintCache":
@@ -90,13 +124,17 @@ class LintCache:
         return entry is not None and entry.get("hash") == digest
 
     def put(self, path: str, digest: str, module: str,
-            imports: Sequence[str], violations: List[dict]) -> None:
-        self.entries[path] = {
+            imports: Sequence[str], violations: List[dict],
+            rpr009: Optional[dict] = None) -> None:
+        entry = {
             "hash": digest,
             "module": module,
             "imports": sorted(imports),
             "violations": violations,
         }
+        if rpr009 is not None:
+            entry["rpr009"] = rpr009
+        self.entries[path] = entry
 
     def prune(self, keep_paths: Sequence[str]) -> None:
         """Drop entries for files that no longer exist in the lint set."""

@@ -177,14 +177,21 @@ class ProjectGraph:
         graph.link()
         return graph
 
-    def add_source(self, path: Path, source: str) -> Optional[ModuleInfo]:
-        """Parse and register one module (skips files with syntax errors)."""
+    def add_source(self, path: Path, source: str,
+                   name: Optional[str] = None) -> Optional[ModuleInfo]:
+        """Parse and register one module (skips files with syntax errors).
+
+        ``name`` overrides the derived module name — the driver passes
+        its collision-disambiguated name so two same-stem scripts in
+        different non-package directories never overwrite each other's
+        graph entry.
+        """
         path = Path(path)
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError:
             return None
-        info = ModuleInfo(module_name(path), path, source, tree)
+        info = ModuleInfo(name or module_name(path), path, source, tree)
         self.modules[info.name] = info
         self._by_path[str(path)] = info
         self.known_modules.add(info.name)

@@ -6,16 +6,24 @@ everything the flow rules need:
 
 1. hash every file and split the set into *fresh* (cache hash matches)
    and *changed*;
-2. dirty = changed ∪ reverse-import-closure(changed ∪ removed) — flow
-   facts travel along import edges, so everything that can observe a
-   change is re-analyzed and nothing else is;
+2. dirty = changed ∪ reverse-import-closure(changed ∪ removed) — the
+   forward-flow facts (RPR008/RPR010 taint, symbol resolution) travel
+   along import edges, so everything that can observe a change is
+   re-analyzed and nothing else is;
 3. parse dirty ∪ its forward dependency closure into a
    :class:`~repro.lint.graph.ProjectGraph` (analysis of a dirty file
    needs its dependencies' summaries, not the whole tree);
 4. run every selected rule over each dirty file, timing each rule with
-   :mod:`repro.obs` histograms; reuse cached violations for the rest;
+   :mod:`repro.obs` histograms; reuse cached violations for the rest —
+   *except* RPR009, whose facts flow against import edges (the
+   submission site importing the worker decides the worker's verdict).
+   Its verdict map is recomputed globally every run from per-file fact
+   summaries (fresh for parsed files, cached for unchanged ones), and
+   any non-dirty file whose RPR009 verdicts changed is *promoted*: its
+   cache entry is rewritten and it is reported as analyzed.  Warm
+   verdicts therefore match cold ones by construction;
 5. write the cache back (content hashes, import edges, violations, and
-   cross-module runtime-write facts for RPR009).
+   RPR009 fact summaries).
 
 Suppression semantics are unchanged from per-file mode — and because
 flow violations anchor at the *source* line (where taint enters the
@@ -29,7 +37,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro import obs
 from repro.lint.cache import LintCache, cache_signature, file_digest
@@ -43,6 +60,7 @@ from repro.lint.core import (
 )
 from repro.lint.flow import FlowAnalysis, FlowSpec
 from repro.lint.graph import ProjectGraph, extract_imports, module_name
+from repro.lint.rules import fork_share
 from repro.obs.timing import TimingHistogram
 
 import ast
@@ -56,12 +74,14 @@ class ProjectContext:
     """What project-mode rules see via ``FileContext.project``."""
 
     def __init__(self, graph: ProjectGraph,
-                 extra_global_writes: Optional[Set[Tuple[str, str]]] = None):
+                 share_summaries: Optional[Dict[str, Dict[str, object]]]
+                 = None):
         self.graph = graph
-        #: Runtime-write facts ``(module, global)`` recovered from cache
-        #: entries of files *not* parsed this run (see RPR009).
-        self.extra_global_writes: Set[Tuple[str, str]] = \
-            extra_global_writes or set()
+        #: module name -> RPR009 fact summary, for *every* current file
+        #: (fresh for parsed files, cache-recovered for the rest); the
+        #: global fork-share analysis is a pure function of this map.
+        self.share_summaries: Dict[str, Dict[str, object]] = \
+            share_summaries or {}
         self._memo: Dict[str, object] = {}
 
     def flow(self, spec: FlowSpec) -> FlowAnalysis:
@@ -71,7 +91,7 @@ class ProjectContext:
             self._memo[key] = FlowAnalysis(self.graph, spec)
         return self._memo[key]  # type: ignore[return-value]
 
-    def memo(self, key: str, factory):
+    def memo(self, key: str, factory: Callable[[], object]) -> object:
         """Generic once-per-project memo for rule-owned analyses."""
         if key not in self._memo:
             self._memo[key] = factory()
@@ -96,6 +116,42 @@ def _violation_from_dict(data: dict) -> Violation:
                      int(data["column"]), str(data["message"]))
 
 
+def _module_names(path_strs: Sequence[str]) -> Dict[str, str]:
+    """path -> dotted module name, disambiguated on collision.
+
+    Two lint-set files can resolve to the same dotted name (same-stem
+    scripts in different non-package directories, e.g. ``tests/x.py``
+    vs ``benchmarks/x.py``).  The first occurrence keeps the plain name
+    (and stays import-resolvable); later ones get a path-derived unique
+    suffix so per-module bookkeeping (import edges, dirty state, fact
+    summaries) never silently collides.  The ``@`` can never appear in
+    a real dotted name, so disambiguated modules are unreachable from
+    ``extract_imports`` — deliberately conservative.
+    """
+    out: Dict[str, str] = {}
+    taken: Set[str] = set()
+    for s in path_strs:
+        name = module_name(Path(s))
+        if name in taken:
+            name = f"{name}@{file_digest(s)[:8]}"
+        taken.add(name)
+        out[s] = name
+    return out
+
+
+def _share_violations(analysis: "fork_share._ShareAnalysis",
+                      module: str, path_str: str,
+                      source: str) -> List[Violation]:
+    """RPR009 violations for one file, derived from the global verdict
+    map with the same suppression semantics as :func:`_analyze_file`."""
+    noqa = parse_noqa(source)
+    found = [Violation("RPR009", path_str, hit.line, hit.col, hit.message)
+             for hit in analysis.hits_by_module.get(module, [])]
+    out = [v for v in found if not _suppressed(v, noqa)]
+    out.sort(key=lambda v: (v.line, v.column, v.rule))
+    return out
+
+
 def lint_project(paths: Iterable[Union[str, Path]],
                  select: Optional[Sequence[str]] = None,
                  cache_dir: Optional[Union[str, Path]] = DEFAULT_CACHE_DIR,
@@ -105,12 +161,14 @@ def lint_project(paths: Iterable[Union[str, Path]],
 
     ``use_cache=False`` ignores and does not write the cache (every
     file is analyzed).  ``changed_only=True`` restricts *reporting* to
-    the files analyzed this run (the dirty set) — the PR fast path;
+    the files whose verdicts were (re)computed this run — the dirty set
+    plus any file promoted by RPR009 reconciliation — the PR fast path;
     the cache is still updated for everything.
     """
     checkers = _selected_rules(select)
     rule_ids = [type(c).id for c in checkers]
     signature = cache_signature(rule_ids, [type(c).summary for c in checkers])
+    needs_share = "RPR009" in rule_ids
 
     files = list(iter_python_files(paths))
     sources: Dict[str, str] = {}
@@ -126,13 +184,22 @@ def lint_project(paths: Iterable[Union[str, Path]],
         cache.load()
 
     path_strs = [str(p) for p in files]
-    modnames = {s: module_name(Path(s)) for s in path_strs}
+    modnames = _module_names(path_strs)
     known_modules = set(modnames.values())
 
-    changed = [s for s in path_strs if not cache.is_fresh(s, digests[s])]
-    removed_modules = {entry.get("module", "")
-                       for path, entry in cache.entries.items()
-                       if path not in sources}
+    def entry_fresh(s: str) -> bool:
+        if not cache.is_fresh(s, digests[s]):
+            return False
+        entry = cache.entry(s) or {}
+        # A renamed module (collision reshuffle after files came or
+        # went) invalidates its bookkeeping even with identical bytes.
+        if entry.get("module") != modnames[s]:
+            return False
+        return not needs_share or isinstance(entry.get("rpr009"), dict)
+
+    changed: Set[str] = {s for s in path_strs if not entry_fresh(s)}
+    removed = [p for p in cache.entries if p not in sources]
+    removed_modules = {cache.entries[p].get("module", "") for p in removed}
 
     # Import edges for every current file: cached for fresh files,
     # freshly parsed for changed ones (trees kept for the graph).
@@ -163,7 +230,7 @@ def lint_project(paths: Iterable[Union[str, Path]],
             importers.setdefault(dep, set()).add(name)
 
     dirty_modules: Set[str] = set()
-    frontier = [modnames[s] for s in changed] + sorted(removed_modules)
+    frontier = sorted(modnames[s] for s in changed) + sorted(removed_modules)
     while frontier:
         current = frontier.pop()
         if current in dirty_modules:
@@ -187,23 +254,33 @@ def lint_project(paths: Iterable[Union[str, Path]],
         graph.declare_module(name)
     for s in path_strs:
         if modnames[s] in parse_modules:
-            graph.add_source(Path(s), sources[s])
+            graph.add_source(Path(s), sources[s], name=modnames[s])
     graph.link()
 
-    extra_writes: Set[Tuple[str, str]] = set()
-    for s in path_strs:
-        if modnames[s] in parse_modules:
-            continue
-        entry = cache.entry(s) or {}
-        for item in entry.get("global_writes", ()):
-            module_part, _, var = str(item).rpartition(":")
-            extra_writes.add((module_part, var))
-    context = ProjectContext(graph, extra_global_writes=extra_writes)
+    # RPR009 fact summaries for every current file: parsed files get a
+    # fresh summary, unchanged unparsed ones recover theirs from cache
+    # (valid because a summary depends only on the file and its forward
+    # closure — exactly what the dirty rule invalidates on).
+    share_summaries: Dict[str, Dict[str, object]] = {}
+    if needs_share:
+        for s in path_strs:
+            name = modnames[s]
+            info = graph.module_for_path(Path(s))
+            if info is not None:
+                share_summaries[name] = fork_share.summarize_module(info,
+                                                                    graph)
+                continue
+            cached = (cache.entry(s) or {}).get("rpr009")
+            if s not in changed and isinstance(cached, dict):
+                share_summaries[name] = cached
+            else:
+                share_summaries[name] = fork_share.empty_summary()
+    context = ProjectContext(graph, share_summaries=share_summaries)
 
     timings: Dict[str, TimingHistogram] = {tid: TimingHistogram()
                                            for tid in rule_ids}
 
-    def timed(rule_id: str, fn):
+    def timed(rule_id: str, fn: Callable[[], object]) -> object:
         start = time.perf_counter()
         result = fn()
         elapsed = time.perf_counter() - start
@@ -217,7 +294,17 @@ def lint_project(paths: Iterable[Union[str, Path]],
             if warm is not None:
                 timed(type(checker).id, lambda w=warm: w(context))
 
+    # The global RPR009 verdict map must be rebuilt whenever anything
+    # in the project changed — even when *no current file* is dirty
+    # (e.g. a removed file carried the only pool submission).
+    share_analysis: Optional["fork_share._ShareAnalysis"] = None
+    if needs_share and (changed or removed):
+        share_analysis = timed(
+            "RPR009", lambda: fork_share.project_analysis(context)
+        )  # type: ignore[assignment]
+
     violations: List[Violation] = []
+    promoted: List[str] = []
     fresh_count = 0
     with obs.span("lint.project"):
         for s in dirty_paths:
@@ -226,40 +313,62 @@ def lint_project(paths: Iterable[Union[str, Path]],
             violations.extend(file_violations)
             cache.put(s, digests[s], modnames[s],
                       sorted(imports_by_module.get(modnames[s], ())),
-                      [v.to_dict() for v in file_violations])
+                      [v.to_dict() for v in file_violations],
+                      rpr009=share_summaries.get(modnames[s])
+                      if needs_share else None)
+        # RPR009 reconciliation: facts flow against import edges, so a
+        # non-dirty file's cached verdict can be stale (its submitter
+        # changed, or a writer of a global it reads did).  Re-derive
+        # every non-dirty file's RPR009 verdicts from the global map
+        # and promote the ones that differ.
+        if share_analysis is not None:
+            for s in path_strs:
+                if modnames[s] in dirty_modules:
+                    continue
+                entry = cache.entry(s)
+                if entry is None:
+                    continue
+                stored = [v for v in entry.get("violations", ())
+                          if v.get("rule") == "RPR009"]
+                derived = _share_violations(share_analysis, modnames[s], s,
+                                            sources[s])
+                if [v.to_dict() for v in derived] != stored:
+                    merged = [v for v in entry.get("violations", ())
+                              if v.get("rule") != "RPR009"]
+                    merged += [v.to_dict() for v in derived]
+                    merged.sort(key=lambda d: (d["line"], d["column"],
+                                               d["rule"]))
+                    entry["violations"] = merged
+                    promoted.append(s)
+        promoted_set = set(promoted)
         for s in path_strs:
             if modnames[s] in dirty_modules:
                 continue
-            fresh_count += 1
-            if not changed_only:
-                entry = cache.entry(s) or {}
+            entry = cache.entry(s) or {}
+            if s in promoted_set:
                 violations.extend(_violation_from_dict(v)
                                   for v in entry.get("violations", ()))
-
-    share = context._memo.get("rpr009.share")
-    if share is not None:
-        writes_by_module = getattr(share, "writes_by_module", {})
-        for s in dirty_paths:
-            entry = cache.entry(s)
-            if entry is not None:
-                entry["global_writes"] = sorted(
-                    f"{mod}:{var}"
-                    for mod, var in writes_by_module.get(modnames[s], ()))
+                continue
+            fresh_count += 1
+            if not changed_only:
+                violations.extend(_violation_from_dict(v)
+                                  for v in entry.get("violations", ()))
 
     if caching:
         cache.prune(path_strs)
         cache.save()
 
+    analyzed_paths = sorted(set(dirty_paths) | promoted_set)
     violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
-    obs.inc("lint.files_analyzed", len(dirty_paths))
+    obs.inc("lint.files_analyzed", len(analyzed_paths))
     obs.inc("lint.files_reused", fresh_count)
     return ProjectLintResult(
         violations=violations,
-        files_total=len(dirty_paths) if changed_only else len(path_strs),
-        files_analyzed=len(dirty_paths),
+        files_total=len(analyzed_paths) if changed_only else len(path_strs),
+        files_analyzed=len(analyzed_paths),
         files_reused=fresh_count,
         timings=timings,
-        analyzed_paths=dirty_paths,
+        analyzed_paths=analyzed_paths,
     )
 
 

@@ -26,6 +26,25 @@ Like the other flow rules this is whole-program: the submission site,
 the worker function, and the shared global are routinely in three
 different files, which is exactly why the per-file RPR003 cannot see
 the race.
+
+Unlike RPR008/RPR010, whose facts flow *with* the import direction
+(a file's verdict depends only on modules it imports), RPR009 facts
+flow *against* it: the submission site importing the worker decides
+the worker's verdict.  Reverse-import invalidation therefore cannot
+make cached per-file verdicts sound.  Instead the analysis is split
+into two stages:
+
+1. :func:`summarize_module` extracts a small JSON-able **fact summary**
+   per module (mutable globals, global accesses, resolved call edges,
+   pool-submission seeds).  A summary depends only on the module's own
+   source and its forward dependency closure, so the ordinary dirty
+   rule (changed ∪ reverse-import-closure) keeps cached summaries
+   valid.
+2. :class:`_ShareAnalysis` is a pure function of the full summary map
+   — worker closure, runtime-write facts, and verdicts are recomputed
+   *globally* on every run, from fresh summaries for parsed files and
+   cached ones for the rest.  Warm verdicts are therefore identical to
+   cold ones by construction.
 """
 
 from __future__ import annotations
@@ -74,7 +93,17 @@ class _Access(NamedTuple):
     target: _Global
     line: int
     col: int
-    kind: str  # "read" | "write"
+    kind: str  # "read" | "write" | "rebind"
+
+
+#: One access as serialized in a summary: [module, var, line, col, kind].
+_AccessRow = Tuple[str, str, int, int, str]
+
+
+def empty_summary() -> Dict[str, object]:
+    """The fact summary of a module contributing nothing (e.g. one that
+    failed to parse)."""
+    return {"mutables": [], "accesses": {}, "calls": {}, "seeds": []}
 
 
 def _mutable_globals(info: ModuleInfo, graph: ProjectGraph) -> Set[str]:
@@ -131,216 +160,286 @@ def _local_names(fn: ast.AST) -> Set[str]:
     return out - declared_global
 
 
-class _ShareAnalysis:
-    """Project-wide pieces: worker closure, globals, accesses per function."""
+# ---------------------------------------------------------------------------
+# stage 1 — per-module fact summaries (cacheable)
 
-    def __init__(self, graph: ProjectGraph,
-                 extra_written: Optional[Set[Tuple[str, str]]] = None):
-        self.graph = graph
+
+def _candidate_ref(node: ast.AST, info: ModuleInfo,
+                   local: Set[str],
+                   known_modules: Set[str]) -> Optional[_Global]:
+    """The module-level global a Name/Attribute reference *may* point at.
+
+    Candidates are filtered locally only (own globals for bare names,
+    project-module attribute roots for dotted ones); whether the target
+    is actually tracked mutable state is decided later, globally, in
+    :class:`_ShareAnalysis` — other modules' shapes may change between
+    the summary being cached and being used.
+    """
+    if isinstance(node, ast.Name):
+        if node.id in local or node.id not in info.global_values:
+            return None
+        return _Global(info.name, node.id)
+    if isinstance(node, ast.Attribute):
+        canonical = _canonical(node, info)
+        if canonical is None:
+            return None
+        module_part, _, attr = canonical.rpartition(".")
+        if module_part not in known_modules:
+            return None
+        return _Global(module_part, attr)
+    return None
+
+
+def _scan_function(info: ModuleInfo, fn: ast.AST,
+                   known_modules: Set[str]) -> List[_Access]:
+    """Candidate accesses of module-level globals inside ``fn``."""
+    local = _local_names(fn)
+    declared_global: Set[str] = set()
+    out: List[_Access] = []
+
+    def ref(node: ast.AST) -> Optional[_Global]:
+        return _candidate_ref(node, info, local, known_modules)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    # Receivers already accounted for by an enclosing mutator call or
+    # subscript (their Name/Attribute children appear later in the
+    # walk) — one syntactic access, one recorded access.
+    consumed: Set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in declared_global \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            # Rebinding any module global from a function is a runtime
+            # write, mutable value-shape or not.
+            out.append(_Access(_Global(info.name, node.id), node.lineno,
+                               node.col_offset, "rebind"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS:
+            consumed.add(id(node.func))
+            consumed.add(id(node.func.value))
+            target = ref(node.func.value)
+            if target is not None:
+                out.append(_Access(target, node.lineno,
+                                   node.col_offset, "write"))
+        elif isinstance(node, ast.Subscript):
+            consumed.add(id(node.value))
+            target = ref(node.value)
+            if target is not None:
+                kind = "write" if isinstance(node.ctx,
+                                             (ast.Store, ast.Del)) \
+                    else "read"
+                out.append(_Access(target, node.lineno,
+                                   node.col_offset, kind))
+        elif isinstance(node, (ast.Name, ast.Attribute)) \
+                and isinstance(getattr(node, "ctx", None), ast.Load) \
+                and id(node) not in consumed:
+            target = ref(node)
+            if target is not None:
+                out.append(_Access(target, node.lineno,
+                                   node.col_offset, "read"))
+    return out
+
+
+def _callable_ref(graph: ProjectGraph, node: ast.AST, info: ModuleInfo,
+                  local_assigns: Dict[str, ast.AST],
+                  hops: int = 0) -> Optional[Tuple[ModuleInfo, str]]:
+    """Resolve a callable argument to a project function, through
+    ``functools.partial`` wrappers and simple local aliases."""
+    if hops > _MAX_ALIAS_HOPS:
+        return None
+    if isinstance(node, ast.Call):
+        canonical = _canonical(node.func, info)
+        if canonical is not None and canonical.endswith("partial") \
+                and node.args:
+            return _callable_ref(graph, node.args[0], info, local_assigns,
+                                 hops + 1)
+        return None
+    if isinstance(node, ast.Name) and node.id in local_assigns:
+        return _callable_ref(graph, local_assigns[node.id], info,
+                             local_assigns, hops + 1)
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return graph.resolve_call(node, info)
+    return None
+
+
+def _as_function(resolved: Tuple[ModuleInfo, str]) -> Optional[Tuple[str, str]]:
+    """Normalize a resolved target to a concrete function key
+    (classes map to ``Class.__init__``); None if no body to analyze."""
+    target_info, qual = resolved
+    if qual in target_info.classes:
+        qual = f"{qual}.__init__"
+    if qual not in target_info.functions:
+        return None
+    return (target_info.name, qual)
+
+
+def _submission_seeds(info: ModuleInfo,
+                      graph: ProjectGraph) -> List[Tuple[str, str, str]]:
+    """(callee module, callee qualname, entry description) for every
+    callable handed to a pool in ``info``'s functions."""
+    seeds: List[Tuple[str, str, str]] = []
+    for qual in sorted(info.functions):
+        fn = info.functions[qual]
+        local_assigns: Dict[str, ast.AST] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                local_assigns[node.targets[0].id] = node.value
+        for call in ast.walk(fn):
+            if not (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)):
+                continue
+            attr = call.func.attr
+            candidates: List[ast.AST] = []
+            if attr in EXECUTOR_METHODS:
+                candidates = list(call.args[:2])
+                candidates += [kw.value for kw in call.keywords
+                               if kw.arg in EXECUTOR_KEYWORDS]
+            elif attr in POOL_METHODS:
+                candidates = list(call.args[:1])
+                candidates += [kw.value for kw in call.keywords
+                               if kw.arg == "func"]
+            elif attr in POOL_METHODS_GUARDED:
+                receiver = dotted_name(call.func.value) or ""
+                if "pool" in receiver.lower() \
+                        or "executor" in receiver.lower():
+                    candidates = list(call.args[:1])
+            if not candidates:
+                continue
+            entry = f"{info.name}.{qual}"
+            for candidate in candidates:
+                resolved = _callable_ref(graph, candidate, info,
+                                         local_assigns)
+                if resolved is None:
+                    continue
+                key = _as_function(resolved)
+                if key is not None:
+                    seeds.append((key[0], key[1], entry))
+    return seeds
+
+
+def _call_edges(info: ModuleInfo,
+                graph: ProjectGraph) -> Dict[str, List[Tuple[str, str]]]:
+    """qualname -> resolved project callees, for the worker closure."""
+    out: Dict[str, List[Tuple[str, str]]] = {}
+    for qual in sorted(info.functions):
+        fn = info.functions[qual]
+        edges: Set[Tuple[str, str]] = set()
+        for call in ast.walk(fn):
+            if not isinstance(call, ast.Call):
+                continue
+            resolved = graph.resolve_call(call.func, info)
+            if resolved is None:
+                continue
+            key = _as_function(resolved)
+            if key is not None:
+                edges.add(key)
+        if edges:
+            out[qual] = sorted(edges)
+    return out
+
+
+def summarize_module(info: ModuleInfo,
+                     graph: ProjectGraph) -> Dict[str, object]:
+    """The cacheable RPR009 fact summary of one parsed module.
+
+    Everything here depends only on ``info``'s own source plus symbol
+    resolution through its forward dependency closure — exactly the
+    inputs the cache's dirty rule (changed ∪ reverse-import-closure)
+    already invalidates on, so a cached summary of an unchanged,
+    non-dirty file is always current.
+    """
+    known = graph.known_modules
+    accesses: Dict[str, List[_AccessRow]] = {}
+    for qual in sorted(info.functions):
+        found = _scan_function(info, info.functions[qual], known)
+        if found:
+            accesses[qual] = [(a.target.module, a.target.name,
+                               a.line, a.col, a.kind) for a in found]
+    return {
+        "mutables": sorted(_mutable_globals(info, graph)),
+        "accesses": accesses,
+        "calls": {qual: [list(edge) for edge in edges]
+                  for qual, edges in _call_edges(info, graph).items()},
+        "seeds": [list(seed) for seed in _submission_seeds(info, graph)],
+    }
+
+
+# ---------------------------------------------------------------------------
+# stage 2 — global analysis over the full summary map
+
+
+class _ShareAnalysis:
+    """Worker closure, runtime-write facts, and verdicts — a pure
+    function of the per-module summary map, recomputed globally on
+    every run so warm results always match cold ones."""
+
+    def __init__(self, summaries: Dict[str, Dict[str, object]]):
         #: (module, name) of every tracked mutable global.
         self.mutables: Set[_Global] = set()
-        for name in sorted(graph.modules):
-            info = graph.modules[name]
-            if info.name in EXEMPT_MODULES:
+        for module in sorted(summaries):
+            if module in EXEMPT_MODULES:
                 continue
-            for var in _mutable_globals(info, graph):
-                self.mutables.add(_Global(info.name, var))
+            for name in summaries[module].get("mutables", ()):  # type: ignore[union-attr]
+                self.mutables.add(_Global(module, str(name)))
         #: function key -> accesses of tracked globals inside it.
         self.accesses: Dict[Tuple[str, str], List[_Access]] = {}
         #: globals written at runtime (from any project function).
         self.runtime_written: Set[_Global] = set()
-        #: defining module -> globals its functions write (cache fact,
-        #: so incremental runs see writers outside the parsed slice).
-        self.writes_by_module: Dict[str, Set[Tuple[str, str]]] = {}
-        for info, qual, node in graph.project_functions():
-            found = self._scan_function(info, node)
-            if found:
-                self.accesses[(info.name, qual)] = found
-                for access in found:
-                    if access.kind == "write":
-                        self.runtime_written.add(access.target)
-                        self.writes_by_module.setdefault(info.name, set()).add(
-                            (access.target.module, access.target.name))
-        # Runtime-write facts recovered from cache entries of files not
-        # parsed this run keep warm results identical to cold ones.
-        for module_part, var in (extra_written or ()):
-            self.runtime_written.add(_Global(module_part, var))
+        for module in sorted(summaries):
+            raw = summaries[module].get("accesses", {})
+            if not isinstance(raw, dict):
+                continue
+            for qual in sorted(raw):
+                found: List[_Access] = []
+                for row in raw[qual]:
+                    target_mod, var, line, col, kind = row
+                    target = _Global(str(target_mod), str(var))
+                    if kind != "rebind" and target not in self.mutables:
+                        continue
+                    found.append(_Access(target, int(line), int(col),
+                                         str(kind)))
+                    if kind in ("write", "rebind"):
+                        self.runtime_written.add(target)
+                if found:
+                    self.accesses[(module, qual)] = found
         #: worker-callable closure: function key -> entry description.
         self.worker_entry: Dict[Tuple[str, str], str] = {}
-        self._build_closure()
+        self._build_closure(summaries)
         #: module name -> hits, computed once per project.
         self.hits_by_module: Dict[str, List[Hit]] = self._hits()
 
-    # -- accesses ------------------------------------------------------------
-
-    def _resolve_ref(self, node: ast.AST,
-                     info: ModuleInfo,
-                     local: Set[str]) -> Optional[_Global]:
-        """The tracked global a Name/Attribute reference points at."""
-        if isinstance(node, ast.Name):
-            if node.id in local:
-                return None
-            candidate = _Global(info.name, node.id)
-            return candidate if candidate in self.mutables else None
-        if isinstance(node, ast.Attribute):
-            canonical = _canonical(node, info)
-            if canonical is None:
-                return None
-            module_part, _, attr = canonical.rpartition(".")
-            candidate = _Global(module_part, attr)
-            return candidate if candidate in self.mutables else None
-        return None
-
-    def _scan_function(self, info: ModuleInfo,
-                       fn: ast.AST) -> List[_Access]:
-        local = _local_names(fn)
-        declared_global: Set[str] = set()
-        out: List[_Access] = []
-
-        def ref(node: ast.AST) -> Optional[_Global]:
-            return self._resolve_ref(node, info, local)
-
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Global):
-                declared_global.update(node.names)
-        # Receivers already accounted for by an enclosing mutator call or
-        # subscript (their Name/Attribute children appear later in the
-        # walk) — one syntactic access, one recorded access.
-        consumed: Set[int] = set()
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Name) and node.id in declared_global \
-                    and isinstance(node.ctx, (ast.Store, ast.Del)):
-                # Rebinding any module global from a function is a
-                # runtime write, mutable value-shape or not.
-                out.append(_Access(_Global(info.name, node.id), node.lineno,
-                                   node.col_offset, "write"))
-            elif isinstance(node, ast.Call) \
-                    and isinstance(node.func, ast.Attribute) \
-                    and node.func.attr in MUTATOR_METHODS:
-                consumed.add(id(node.func))
-                consumed.add(id(node.func.value))
-                target = ref(node.func.value)
-                if target is not None:
-                    out.append(_Access(target, node.lineno,
-                                       node.col_offset, "write"))
-            elif isinstance(node, ast.Subscript):
-                consumed.add(id(node.value))
-                target = ref(node.value)
-                if target is not None:
-                    kind = "write" if isinstance(node.ctx,
-                                                 (ast.Store, ast.Del)) \
-                        else "read"
-                    out.append(_Access(target, node.lineno,
-                                       node.col_offset, kind))
-            elif isinstance(node, (ast.Name, ast.Attribute)) \
-                    and isinstance(getattr(node, "ctx", None), ast.Load) \
-                    and id(node) not in consumed:
-                target = ref(node)
-                if target is not None:
-                    out.append(_Access(target, node.lineno,
-                                       node.col_offset, "read"))
-        return out
-
-    # -- worker closure ------------------------------------------------------
-
-    def _callable_ref(self, node: ast.AST, info: ModuleInfo,
-                      local_assigns: Dict[str, ast.AST],
-                      hops: int = 0) -> Optional[Tuple[ModuleInfo, str]]:
-        """Resolve a callable argument to a project function, through
-        ``functools.partial`` wrappers and simple local aliases."""
-        if hops > _MAX_ALIAS_HOPS:
-            return None
-        if isinstance(node, ast.Call):
-            canonical = _canonical(node.func, info)
-            if canonical is not None and canonical.endswith("partial") \
-                    and node.args:
-                return self._callable_ref(node.args[0], info, local_assigns,
-                                          hops + 1)
-            return None
-        if isinstance(node, ast.Name) and node.id in local_assigns:
-            return self._callable_ref(local_assigns[node.id], info,
-                                      local_assigns, hops + 1)
-        if isinstance(node, (ast.Name, ast.Attribute)):
-            return self.graph.resolve_call(node, info)
-        return None
-
-    def _submission_seeds(self) -> List[Tuple[ModuleInfo, str, str]]:
-        """(callee module, callee qualname, entry description) for every
-        callable handed to a pool anywhere in the project."""
-        seeds: List[Tuple[ModuleInfo, str, str]] = []
-        for info, qual, fn in self.graph.project_functions():
-            local_assigns: Dict[str, ast.AST] = {}
-            for node in ast.walk(fn):
-                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
-                        and isinstance(node.targets[0], ast.Name):
-                    local_assigns[node.targets[0].id] = node.value
-            for call in ast.walk(fn):
-                if not (isinstance(call, ast.Call)
-                        and isinstance(call.func, ast.Attribute)):
-                    continue
-                attr = call.func.attr
-                candidates: List[ast.AST] = []
-                if attr in EXECUTOR_METHODS:
-                    candidates = list(call.args[:2])
-                    candidates += [kw.value for kw in call.keywords
-                                   if kw.arg in EXECUTOR_KEYWORDS]
-                elif attr in POOL_METHODS:
-                    candidates = list(call.args[:1])
-                    candidates += [kw.value for kw in call.keywords
-                                   if kw.arg == "func"]
-                elif attr in POOL_METHODS_GUARDED:
-                    receiver = dotted_name(call.func.value) or ""
-                    if "pool" in receiver.lower() \
-                            or "executor" in receiver.lower():
-                        candidates = list(call.args[:1])
-                if not candidates:
-                    continue
-                entry = f"{info.name}.{qual}"
-                for candidate in candidates:
-                    resolved = self._callable_ref(candidate, info,
-                                                  local_assigns)
-                    if resolved is not None:
-                        seeds.append((resolved[0], resolved[1], entry))
-        return seeds
-
-    def _build_closure(self) -> None:
-        frontier: List[Tuple[ModuleInfo, str, str]] = []
-        for callee_info, callee_qual, entry in self._submission_seeds():
-            qual = callee_qual
-            if qual in callee_info.classes:
-                qual = f"{callee_qual}.__init__"
-            if qual not in callee_info.functions:
-                continue
-            frontier.append((callee_info, qual, entry))
+    def _build_closure(self,
+                       summaries: Dict[str, Dict[str, object]]) -> None:
+        calls: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+        seeds: List[Tuple[str, str, str]] = []
+        for module in sorted(summaries):
+            summary = summaries[module]
+            raw_calls = summary.get("calls", {})
+            if isinstance(raw_calls, dict):
+                for qual in sorted(raw_calls):
+                    calls[(module, qual)] = [
+                        (str(edge[0]), str(edge[1]))
+                        for edge in raw_calls[qual]]
+            for seed in summary.get("seeds", ()):  # type: ignore[union-attr]
+                seeds.append((str(seed[0]), str(seed[1]), str(seed[2])))
+        frontier = sorted(seeds, reverse=True)
         while frontier:
-            info, qual, entry = frontier.pop()
-            key = (info.name, qual)
+            module, qual, entry = frontier.pop()
+            key = (module, qual)
             if key in self.worker_entry:
                 continue
             self.worker_entry[key] = entry
-            fn = info.functions.get(qual)
-            if fn is None:
-                continue
-            for call in ast.walk(fn):
-                if not isinstance(call, ast.Call):
-                    continue
-                resolved = self.graph.resolve_call(call.func, info)
-                if resolved is None:
-                    continue
-                callee_info, callee_qual = resolved
-                if callee_qual in callee_info.classes:
-                    callee_qual = f"{callee_qual}.__init__"
-                if callee_qual in callee_info.functions:
-                    frontier.append((callee_info, callee_qual, entry))
-
-    # -- verdicts ------------------------------------------------------------
+            for callee in calls.get(key, ()):
+                frontier.append((callee[0], callee[1], entry))
 
     def _hits(self) -> Dict[str, List[Hit]]:
         """module name -> flow hits for worker-side global accesses."""
         out: Dict[str, List[Hit]] = {}
         for key, entry in sorted(self.worker_entry.items()):
-            accesses = self.accesses.get(key, [])
-            for access in accesses:
+            for access in self.accesses.get(key, []):
                 if access.target.module in EXEMPT_MODULES:
                     # The scoped-registry implementation rebinds its own
                     # global by design; that IS the sanctioned pattern.
@@ -351,7 +450,7 @@ class _ShareAnalysis:
                     # process sees the same contents; reads are safe.
                     continue
                 module_name, qual = key
-                verb = "writes" if access.kind == "write" else "reads"
+                verb = "reads" if access.kind == "read" else "writes"
                 message = (
                     f"worker-callable {qual}() (reaches a process pool via "
                     f"{entry}()) {verb} module-level mutable "
@@ -367,6 +466,20 @@ class _ShareAnalysis:
         return out
 
 
+def project_analysis(project: object) -> _ShareAnalysis:
+    """The (memoized) global RPR009 analysis for one project run.
+
+    The driver calls this too — even when no file needs re-analysis —
+    to reconcile cached verdicts whenever the summary map could have
+    changed (RPR009 facts flow against import edges, so per-file cache
+    invalidation alone cannot keep them sound).
+    """
+    summaries: Dict[str, Dict[str, object]] = \
+        getattr(project, "share_summaries", {})
+    return project.memo(  # type: ignore[attr-defined, no-any-return]
+        "rpr009.share", lambda: _ShareAnalysis(summaries))
+
+
 @rule
 class ForkShareRule(Rule):
     id = "RPR009"
@@ -375,25 +488,17 @@ class ForkShareRule(Rule):
                "explicit task payloads")
     requires_project = True
 
-    @staticmethod
-    def _analysis(project) -> _ShareAnalysis:
-        return project.memo(
-            "rpr009.share",
-            lambda: _ShareAnalysis(
-                project.graph,
-                extra_written=getattr(project, "extra_global_writes", None)))
-
-    def warm(self, project) -> None:
-        self._analysis(project)
+    def warm(self, project: object) -> None:
+        project_analysis(project)
 
     def check(self, context: FileContext) -> Iterator[Violation]:
         project = context.project
         if project is None:
             return
-        info = project.graph.module_for_path(context.path)
+        info = project.graph.module_for_path(context.path)  # type: ignore[attr-defined]
         if info is None:
             return
-        analysis = self._analysis(project)
+        analysis = project_analysis(project)
         for hit in analysis.hits_by_module.get(info.name, []):
             yield Violation(self.id, str(context.path), hit.line, hit.col,
                             hit.message)

@@ -488,9 +488,213 @@ def test_cache_file_is_deterministic_json(tmp_path):
     cache_file = next(cache_dir.glob("lint-*.json"))
     first = cache_file.read_text()
     document = json.loads(first)
-    assert document["schema"] == "repro.lint.cache/1"
+    assert document["schema"] == "repro.lint.cache/2"
     lint_project([root], cache_dir=cache_dir)
     assert cache_file.read_text() == first
+
+
+# ---------------------------------------------------------------------------
+# RPR009 cache soundness: its facts flow AGAINST import edges, so plain
+# reverse-import invalidation cannot keep per-file verdicts fresh.  The
+# driver recomputes the fork-share verdict map globally from cached fact
+# summaries and promotes any file whose verdicts changed — warm results
+# must always equal a cold --no-cache run.
+
+
+SUBMITTER_TREE = {
+    "repro/__init__.py": "",
+    "repro/state.py": "CACHE = {}\n",
+    "repro/work.py": textwrap.dedent("""\
+        from repro import state
+
+
+        def task(item):
+            state.CACHE[item] = 1
+            return item
+        """),
+    "repro/driver.py": textwrap.dedent("""\
+        from repro.work import task
+
+
+        def run(items):
+            return [task(item) for item in items]
+        """),
+}
+
+SUBMITTER_POOL = textwrap.dedent("""\
+    from multiprocessing import Pool
+
+    from repro.work import task
+
+
+    def run(items):
+        with Pool() as pool:
+            return list(pool.imap(task, items))
+    """)
+
+
+def test_rpr009_submitter_edit_reverdicts_worker_on_warm_run(tmp_path):
+    # The conditions for the violation (the pool submission) live in a
+    # module that IMPORTS the worker: editing driver.py must re-verdict
+    # work.py even though work.py is not in driver.py's reverse closure.
+    root = write_tree(tmp_path / "proj", SUBMITTER_TREE)
+    cache_dir = tmp_path / "cache"
+    clean = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert clean.violations == []
+    (root / "repro/driver.py").write_text(SUBMITTER_POOL)
+    warm = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    cold = lint_project([root], select=["RPR009"], use_cache=False)
+    assert [v.to_dict() for v in warm.violations] \
+        == [v.to_dict() for v in cold.violations]
+    hits = violations_of(warm, "RPR009")
+    assert len(hits) == 1
+    assert hits[0].path.endswith("work.py")
+    # And the next warm run serves the same verdict straight from cache.
+    again = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert again.files_analyzed == 0
+    assert [v.to_dict() for v in again.violations] \
+        == [v.to_dict() for v in warm.violations]
+
+
+def test_rpr009_submission_removal_clears_stale_verdict(tmp_path):
+    tree = dict(SUBMITTER_TREE)
+    tree["repro/driver.py"] = SUBMITTER_POOL
+    root = write_tree(tmp_path / "proj", tree)
+    cache_dir = tmp_path / "cache"
+    dirty = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert len(violations_of(dirty, "RPR009")) == 1
+    (root / "repro/driver.py").write_text(SUBMITTER_TREE["repro/driver.py"])
+    warm = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert warm.violations == []
+    assert lint_project([root], select=["RPR009"],
+                        use_cache=False).violations == []
+
+
+def test_rpr009_changed_only_reports_promoted_files(tmp_path):
+    # The PR fast path must surface verdict flips in files outside the
+    # dirty set, or a cached PR build passes while uncached main fails.
+    root = write_tree(tmp_path / "proj", SUBMITTER_TREE)
+    cache_dir = tmp_path / "cache"
+    lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    (root / "repro/driver.py").write_text(SUBMITTER_POOL)
+    warm = lint_project([root], select=["RPR009"], cache_dir=cache_dir,
+                        changed_only=True)
+    assert [v.path.rsplit("/", 1)[-1]
+            for v in violations_of(warm, "RPR009")] == ["work.py"]
+    analyzed = {p.rsplit("/", 1)[-1] for p in warm.analyzed_paths}
+    assert "work.py" in analyzed
+
+
+FLIP_TREE = {
+    "repro/__init__.py": "",
+    "repro/state.py": "CACHE = {}\n",
+    "repro/work.py": textwrap.dedent("""\
+        from repro import state
+
+
+        def task(item):
+            return state.CACHE[item]
+        """),
+    "repro/runner.py": textwrap.dedent("""\
+        from multiprocessing import Pool
+
+        from repro.work import task
+
+
+        def run(items):
+            with Pool() as pool:
+                return list(pool.imap(task, items))
+        """),
+    "repro/writer.py": textwrap.dedent("""\
+        from repro import state
+
+
+        def poke():
+            return None
+        """),
+}
+
+
+def test_rpr009_unrelated_writer_flips_read_verdict_on_warm_run(tmp_path):
+    # A worker READ of a never-written global is safe.  A module with no
+    # import relationship to the worker gaining a runtime write must flip
+    # the worker's verdict — even though the worker is neither changed,
+    # dirty, nor even re-parsed on the warm run.
+    root = write_tree(tmp_path / "proj", FLIP_TREE)
+    cache_dir = tmp_path / "cache"
+    clean = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert clean.violations == []
+    (root / "repro/writer.py").write_text(textwrap.dedent("""\
+        from repro import state
+
+
+        def poke():
+            state.CACHE["k"] = 1
+        """))
+    warm = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    cold = lint_project([root], select=["RPR009"], use_cache=False)
+    assert [v.to_dict() for v in warm.violations] \
+        == [v.to_dict() for v in cold.violations]
+    paths = {v.path.rsplit("/", 1)[-1]
+             for v in violations_of(warm, "RPR009")}
+    assert "work.py" in paths
+    # Reverting the writer clears the read verdict again.
+    (root / "repro/writer.py").write_text(FLIP_TREE["repro/writer.py"])
+    reverted = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert violations_of(reverted, "RPR009") == []
+
+
+def test_rpr009_removed_submitter_clears_verdict(tmp_path):
+    tree = dict(SUBMITTER_TREE)
+    tree["repro/driver.py"] = SUBMITTER_POOL
+    root = write_tree(tmp_path / "proj", tree)
+    cache_dir = tmp_path / "cache"
+    assert len(violations_of(
+        lint_project([root], select=["RPR009"], cache_dir=cache_dir),
+        "RPR009")) == 1
+    (root / "repro/driver.py").unlink()
+    warm = lint_project([root], select=["RPR009"], cache_dir=cache_dir)
+    assert warm.violations == []
+
+
+# ---------------------------------------------------------------------------
+# module-name collisions and the cache signature
+
+
+def test_same_stem_scripts_do_not_collide(tmp_path):
+    # Two files resolving to the same dotted module name (same-stem
+    # scripts in non-package directories) must keep separate import
+    # edges and dirty state.
+    write_tree(tmp_path, {
+        "a/tool.py": "import json\n\n\ndef dump(xs):\n"
+                     "    return json.dumps(list(set(xs)))\n",
+        "b/tool.py": "X = 1\n",
+    })
+    roots = [tmp_path / "a", tmp_path / "b"]
+    cache_dir = tmp_path / "cache"
+    cold = lint_project(roots, select=["RPR010"], cache_dir=cache_dir)
+    assert [v.path.rsplit("/", 2)[-2:] for v in cold.violations] \
+        == [["a", "tool.py"]]
+    warm = lint_project(roots, select=["RPR010"], cache_dir=cache_dir)
+    assert warm.files_analyzed == 0
+    assert [v.to_dict() for v in warm.violations] \
+        == [v.to_dict() for v in cold.violations]
+    # Editing one of them re-analyzes only that file, and the shadowed
+    # file's verdicts survive untouched.
+    (tmp_path / "b/tool.py").write_text("X = 2\n")
+    edited = lint_project(roots, select=["RPR010"], cache_dir=cache_dir)
+    assert [p.rsplit("/", 2)[-2:] for p in edited.analyzed_paths] \
+        == [["b", "tool.py"]]
+    assert [v.to_dict() for v in edited.violations] \
+        == [v.to_dict() for v in cold.violations]
+
+
+def test_cache_signature_tracks_engine_sources(monkeypatch):
+    from repro.lint import cache as cache_mod
+    baseline = cache_mod.cache_signature(["RPR001"], ["summary"])
+    assert cache_mod.cache_signature(["RPR001"], ["summary"]) == baseline
+    monkeypatch.setattr(cache_mod, "_ENGINE_DIGEST", "0" * 16)
+    assert cache_mod.cache_signature(["RPR001"], ["summary"]) != baseline
 
 
 # ---------------------------------------------------------------------------
