@@ -35,6 +35,7 @@ from repro.analysis import (  # noqa: F401
     consumption,
     correlation,
     diurnal,
+    failures,
     machine_util,
     machines,
     report,
@@ -50,7 +51,7 @@ from repro.analysis import (  # noqa: F401
 
 __all__ = [
     "allocation", "allocsets", "autoscaling", "batch_queue", "common", "constraints", "consumption",
-    "correlation", "diurnal", "machine_util", "machines", "report", "sched_delay",
+    "correlation", "diurnal", "failures", "machine_util", "machines", "report", "sched_delay",
     "submission", "summary", "tasks_per_job", "terminations", "transitions", "users",
     "utilization",
 ]

@@ -82,15 +82,22 @@ def build_scenarios(params: Dict[str, object], seed: int
     hours = float(params["hours"])
     scale = float(params["scale"])
     sample_period = float(params["sample_period"])
+    faults = params.get("faults")
+    fault_rate = float(params.get("fault_rate", 1.0))
+    archetype_mix = params.get("archetype_mix")
     if params["era"] == "2011":
         scenarios = [scenario_2011(seed=seed, machines_per_cell=machines,
                                    horizon_hours=hours, arrival_scale=scale,
-                                   sample_period=sample_period)]
+                                   sample_period=sample_period,
+                                   faults=faults, fault_rate=fault_rate,
+                                   archetype_mix=archetype_mix)]
     else:
         scenarios = scenarios_2019(seed=seed, machines_per_cell=machines,
                                    horizon_hours=hours, arrival_scale=scale,
                                    sample_period=sample_period,
-                                   cells=list(params["cells"]))
+                                   cells=list(params["cells"]),
+                                   faults=faults, fault_rate=fault_rate,
+                                   archetype_mix=archetype_mix)
     overrides = {}
     if params.get("overcommit_cpu") is not None:
         overrides["overcommit_cpu"] = float(params["overcommit_cpu"])

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple, Union
 
 from repro.campaign.cache_key import point_key
+from repro.faults import FAULT_PROFILES
+from repro.workload.archetypes import ARCHETYPE_MIXES
 from repro.workload.scenarios import CELL_PROFILES_2019
 
 
@@ -51,10 +53,13 @@ DEFAULT_PARAMS: Dict[str, Union[str, int, float, List[str], None]] = {
     "sample_period": 900.0,
     "overcommit_cpu": None,
     "overcommit_mem": None,
+    "faults": None,
+    "fault_rate": 1.0,
+    "archetype_mix": None,
 }
 
 #: Parameters whose values must be positive numbers.
-_POSITIVE = ("machines", "hours", "scale", "sample_period")
+_POSITIVE = ("machines", "hours", "scale", "sample_period", "fault_rate")
 
 #: Over-commit factors below 1 would *under*-commit below capacity.
 _OVERCOMMIT_MIN = 1.0
@@ -97,6 +102,24 @@ def _validate_param(name: str, value) -> Union[str, int, float, List[str], None]
             raise CampaignSpecError(
                 f"{name} must be a positive number, got {value!r}")
         return float(value)
+    if name == "faults":
+        if value is None:
+            return None
+        if not isinstance(value, str) or value not in FAULT_PROFILES:
+            known = ", ".join(sorted(FAULT_PROFILES))
+            raise CampaignSpecError(
+                f"faults must be a profile name ({known}) or null, "
+                f"got {value!r}")
+        return value
+    if name == "archetype_mix":
+        if value is None:
+            return None
+        if not isinstance(value, str) or value not in ARCHETYPE_MIXES:
+            known = ", ".join(sorted(ARCHETYPE_MIXES))
+            raise CampaignSpecError(
+                f"archetype_mix must be a mix name ({known}) or null, "
+                f"got {value!r}")
+        return value
     # overcommit_cpu / overcommit_mem
     if value is None:
         return None

@@ -95,7 +95,8 @@ from repro.store import (
 from repro.store.writer import DEFAULT_CHUNK_ROWS
 from repro.trace import encode_cell, load_trace, save_trace, validate_trace
 from repro.trace.io import detect_format
-from repro.workload import scenario_2011, scenarios_2019
+from repro.faults import FAULT_PROFILES
+from repro.workload import ARCHETYPE_MIXES, scenario_2011, scenarios_2019
 
 
 def _add_obs_out_arg(parser: argparse.ArgumentParser) -> None:
@@ -121,6 +122,20 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="arrival-rate scale vs the real clusters")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--faults", default=None, metavar="PROFILE",
+                        choices=sorted(FAULT_PROFILES),
+                        help="fault-injection profile "
+                             f"({', '.join(sorted(FAULT_PROFILES))}; "
+                             "default: off)")
+    parser.add_argument("--fault-rate", type=float, default=1.0,
+                        metavar="SCALE",
+                        help="multiplier on the profile's unplanned "
+                             "failure rates (default 1.0)")
+    parser.add_argument("--archetype-mix", default=None, metavar="MIX",
+                        choices=sorted(ARCHETYPE_MIXES),
+                        help="additional user-archetype workload "
+                             f"({', '.join(sorted(ARCHETYPE_MIXES))}; "
+                             "default: none)")
 
 
 def _simulate(args) -> int:
@@ -133,17 +148,25 @@ def _simulate(args) -> int:
             scenarios.append(scenario_2011(seed=args.seed,
                                            machines_per_cell=args.machines,
                                            horizon_hours=args.hours,
-                                           arrival_scale=args.scale))
+                                           arrival_scale=args.scale,
+                                           faults=args.faults,
+                                           fault_rate=args.fault_rate,
+                                           archetype_mix=args.archetype_mix))
         else:
             scenarios.append(scenarios_2019(seed=args.seed,
                                             machines_per_cell=args.machines,
                                             horizon_hours=args.hours,
                                             arrival_scale=args.scale,
-                                            cells=[name])[0])
+                                            cells=[name],
+                                            faults=args.faults,
+                                            fault_rate=args.fault_rate,
+                                            archetype_mix=args.archetype_mix)[0])
     meta = {"cells": ",".join(cells), "machines": args.machines,
             "hours": args.hours, "scale": args.scale,
             "seed": args.seed, "format": args.format,
-            "workers": args.workers}
+            "workers": args.workers, "faults": args.faults,
+            "fault_rate": args.fault_rate,
+            "archetype_mix": args.archetype_mix}
     record: Optional[RunRecorder] = None
     if args.record:
         record = RunRecorder(args.record, interval=args.record_interval)

@@ -1,0 +1,47 @@
+"""Correlated fault injection: failure domains, schedules, resubmission.
+
+The 2019 trace is shaped as much by *failures* as by the scheduler:
+machine crashes and maintenance remove capacity in correlated blocks
+(racks share a switch, power domains share a feed), and failed jobs
+come back — users and frameworks resubmit with backoff, occasionally
+as storms ("A Deep Dive into the Google Cluster Workload Traces").
+
+This package models both, deterministically:
+
+* :class:`FailureDomains` — the fleet's rack / power-domain topology
+  (:mod:`repro.faults.domains`).
+* :class:`FaultParams` + :func:`generate_fault_schedule` — crash,
+  maintenance-window and rolling-upgrade event schedules over those
+  domains (:mod:`repro.faults.schedule`).
+* :class:`ResubmitPolicy` — bounded exponential backoff with per-user
+  retry budgets for failed jobs (:mod:`repro.faults.schedule`).
+* :func:`fault_profile` — named presets ("light", "heavy", "storm")
+  used by scenarios, the campaign grid and the CLI
+  (:mod:`repro.faults.profiles`).
+
+Determinism contract: every draw comes from the cell's own
+``rng.stream("faults")`` / ``rng.stream("resubmit")`` streams, and a
+cell configured *without* faults performs **zero** extra RNG draws and
+pushes **zero** extra events — baseline runs stay byte-identical (the
+golden-figure safety property; see DESIGN.md §14).
+"""
+
+from repro.faults.domains import FailureDomains
+from repro.faults.profiles import FAULT_PROFILES, fault_profile, resolve_faults
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultParams,
+    ResubmitPolicy,
+    generate_fault_schedule,
+)
+
+__all__ = [
+    "FailureDomains",
+    "FaultEvent",
+    "FaultParams",
+    "ResubmitPolicy",
+    "generate_fault_schedule",
+    "FAULT_PROFILES",
+    "fault_profile",
+    "resolve_faults",
+]

@@ -1,0 +1,78 @@
+"""Named fault profiles: the presets scenarios and campaigns select by name.
+
+A profile is just a :class:`FaultParams` value; the names are the
+vocabulary shared by ``small_test_scenario(faults=...)``, the campaign
+``faults`` grid axis, and the CLI ``--faults`` flag:
+
+* ``off`` — no fault injection at all (``None``; the default
+  everywhere, so untouched scenarios and goldens never change).
+* ``light`` — occasional rack crashes plus weekly-ish maintenance:
+  roughly the background failure level the baseline per-machine
+  maintenance already approximates, but correlated.
+* ``heavy`` — frequent rack and power-domain crashes, maintenance, and
+  rolling upgrades, with resubmission on: the failure-heavy scenario
+  the determinism sweep and the CI smoke job run.
+* ``storm`` — ``heavy`` with aggressive resubmission (short backoff,
+  deep chains, loose budgets): the resubmission-storm stress case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.faults.schedule import FaultParams, ResubmitPolicy
+
+FAULT_PROFILES: Dict[str, Optional[FaultParams]] = {
+    "off": None,
+    "light": FaultParams(
+        rack_crash_rate_per_day=0.02,
+        power_outage_rate_per_day=0.004,
+        maintenance_interval_days=7.0,
+    ),
+    "heavy": FaultParams(
+        rack_crash_rate_per_day=0.25,
+        power_outage_rate_per_day=0.05,
+        maintenance_interval_days=2.0,
+        upgrade_period_hours=8.0,
+        resubmit=ResubmitPolicy(),
+    ),
+    "storm": FaultParams(
+        rack_crash_rate_per_day=0.25,
+        power_outage_rate_per_day=0.05,
+        maintenance_interval_days=2.0,
+        upgrade_period_hours=8.0,
+        resubmit=ResubmitPolicy(base_delay=15.0, multiplier=1.7,
+                                max_delay=900.0, max_attempts=8,
+                                user_retry_budget=1000, refail_prob=0.75),
+    ),
+}
+
+
+def fault_profile(name: str, rate_scale: float = 1.0) -> Optional[FaultParams]:
+    """Resolve a profile name, optionally scaling its unplanned rates."""
+    if name not in FAULT_PROFILES:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ValueError(f"unknown fault profile {name!r} (known: {known})")
+    params = FAULT_PROFILES[name]
+    if params is None:
+        return None
+    return params.scaled(rate_scale)
+
+
+def resolve_faults(faults: Union[str, FaultParams, None],
+                   rate_scale: float = 1.0) -> Optional[FaultParams]:
+    """Normalize a scenario/campaign ``faults`` knob to ``FaultParams``.
+
+    Accepts ``None`` (off), a profile name, or explicit
+    :class:`FaultParams`; ``rate_scale`` multiplies unplanned rates in
+    every case.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        return fault_profile(faults, rate_scale)
+    if isinstance(faults, FaultParams):
+        return faults.scaled(rate_scale)
+    raise TypeError(
+        f"faults must be None, a profile name, or FaultParams, "
+        f"got {type(faults).__name__}")

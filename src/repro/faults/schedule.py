@@ -1,0 +1,237 @@
+"""Fault-event schedules and the resubmission policy.
+
+Three correlated outage kinds over a :class:`FailureDomains` topology:
+
+* **crash** — unplanned: a rack (switch dies) or a whole power domain
+  (feed trips) drops instantly.  Poisson per domain.  Everything on the
+  machines is evicted, production tiers included.
+* **maintenance** — planned: each rack gets a periodic maintenance
+  window with a random phase.  Production work is drained ahead of the
+  outage (no EVICT), exactly like the baseline per-machine maintenance.
+* **upgrade** — planned: rolling kernel/firmware pushes sweep the cell
+  rack by rack, one rack every ``upgrade_step`` seconds, repeating
+  every ``upgrade_period_hours``.
+
+All times come from the single RNG generator the caller passes in (the
+cell's ``"faults"`` stream) and the generation loop iterates domains in
+a fixed order, so the schedule is a pure function of
+``(params, domains, horizon, seed)``.
+
+The :class:`ResubmitPolicy` half models the Deep Dive's resubmission
+behavior: a failed job re-enters the cell after a bounded exponential
+backoff, retried at most ``max_attempts`` times per chain and at most
+``user_retry_budget`` times per user per run (the storm brake).  The
+backoff is deliberately jitter-free — ``delay(k)`` strictly increases
+with ``k`` until it clamps at ``max_delay``, an invariant the
+property-based suite checks against the event log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.domains import FailureDomains
+from repro.util.timeutil import HOUR_SECONDS
+
+DAY_SECONDS = 24 * HOUR_SECONDS
+
+#: Fault kinds, in the order used for deterministic schedule sorting.
+FAULT_KINDS = ("crash", "maintenance", "upgrade")
+
+
+class FaultEvent(NamedTuple):
+    """One correlated outage: a block of machines down for a while."""
+
+    time: float
+    kind: str                       # "crash" | "maintenance" | "upgrade"
+    scope: str                      # "rack" | "power"
+    domain_id: int                  # rack or power-domain index
+    machine_indices: Tuple[int, ...]
+    duration: float
+
+
+@dataclass(frozen=True)
+class ResubmitPolicy:
+    """Bounded-exponential-backoff resubmission for failed jobs."""
+
+    #: First retry lands this many seconds after the failure.
+    base_delay: float = 60.0
+    #: Backoff multiplier per attempt.
+    multiplier: float = 2.0
+    #: Backoff clamp: delays never exceed this.
+    max_delay: float = HOUR_SECONDS
+    #: A chain dies after this many resubmissions of the original job.
+    max_attempts: int = 5
+    #: Per-user cap on resubmissions per run — the storm brake.  The
+    #: Deep Dive observes a handful of users generating most
+    #: resubmission traffic; without a budget, one crash-looping
+    #: framework floods the pending queue forever.
+    user_retry_budget: int = 200
+    #: Probability a resubmitted job fails again (crash loops).
+    refail_prob: float = 0.6
+
+    def __post_init__(self):
+        if self.base_delay <= 0:
+            raise ValueError("base_delay must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.user_retry_budget < 0:
+            raise ValueError("user_retry_budget must be >= 0")
+        if not 0.0 <= self.refail_prob <= 1.0:
+            raise ValueError("refail_prob must be in [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before resubmission ``attempt`` (1-based).
+
+        Strictly increasing in ``attempt`` until it clamps at
+        ``max_delay`` (for ``multiplier > 1``).
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return float(min(self.base_delay * self.multiplier ** (attempt - 1),
+                         self.max_delay))
+
+
+@dataclass(frozen=True)
+class FaultParams:
+    """Everything that parameterizes a cell's correlated-fault model."""
+
+    #: Topology knobs (see :class:`FailureDomains`).
+    machines_per_rack: int = 8
+    racks_per_power_domain: int = 4
+
+    #: Unplanned rack crashes per rack per day (Poisson).
+    rack_crash_rate_per_day: float = 0.05
+    #: Rack-crash outage duration, seconds.
+    crash_duration: float = 600.0
+    #: Unplanned whole-power-domain outages per domain per day (Poisson).
+    power_outage_rate_per_day: float = 0.01
+    #: Power-outage duration, seconds.
+    power_outage_duration: float = 1800.0
+
+    #: Planned per-rack maintenance cadence, days (0 disables).
+    maintenance_interval_days: float = 0.0
+    #: Maintenance-window duration, seconds.
+    maintenance_duration: float = 900.0
+
+    #: Rolling-upgrade sweep cadence, hours (0 disables).
+    upgrade_period_hours: float = 0.0
+    #: Seconds between consecutive racks within one sweep.
+    upgrade_step: float = 120.0
+    #: Per-rack outage during an upgrade, seconds.
+    upgrade_duration: float = 300.0
+
+    #: Resubmission behavior for failed jobs (None disables).
+    resubmit: Optional[ResubmitPolicy] = None
+
+    def __post_init__(self):
+        if self.machines_per_rack <= 0:
+            raise ValueError("machines_per_rack must be positive")
+        if self.racks_per_power_domain <= 0:
+            raise ValueError("racks_per_power_domain must be positive")
+        for name in ("rack_crash_rate_per_day", "power_outage_rate_per_day",
+                     "maintenance_interval_days", "upgrade_period_hours"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("crash_duration", "power_outage_duration",
+                     "maintenance_duration", "upgrade_step",
+                     "upgrade_duration"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def scaled(self, rate_scale: float) -> "FaultParams":
+        """A copy with all *unplanned* fault rates multiplied.
+
+        This is the campaign's ``fault_rate`` axis: one multiplier
+        sweeps the crash intensity while planned windows (maintenance,
+        upgrades) and the topology stay fixed.
+        """
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
+        if rate_scale == 1.0:
+            return self
+        return dataclasses.replace(
+            self,
+            rack_crash_rate_per_day=self.rack_crash_rate_per_day * rate_scale,
+            power_outage_rate_per_day=(self.power_outage_rate_per_day
+                                       * rate_scale),
+        )
+
+    def domains_for(self, n_machines: int) -> FailureDomains:
+        return FailureDomains(n_machines, self.machines_per_rack,
+                              self.racks_per_power_domain)
+
+
+def _poisson_times(rng: np.random.Generator, rate_per_day: float,
+                   horizon: float) -> List[float]:
+    """Poisson arrival times in ``[0, horizon)`` at ``rate_per_day``."""
+    times: List[float] = []
+    if rate_per_day <= 0:
+        return times
+    mean_gap = DAY_SECONDS / rate_per_day
+    t = float(rng.exponential(mean_gap))
+    while t < horizon:
+        times.append(t)
+        t += float(rng.exponential(mean_gap))
+    return times
+
+
+def generate_fault_schedule(params: FaultParams, domains: FailureDomains,
+                            horizon: float,
+                            rng: np.random.Generator) -> List[FaultEvent]:
+    """The cell's full fault schedule, sorted by (time, kind, domain).
+
+    Iteration order is fixed (racks ascending, then power domains, then
+    maintenance, then upgrade sweeps), so the same ``(params, domains,
+    horizon)`` and generator state always yield the same schedule.
+    """
+    events: List[FaultEvent] = []
+
+    for rack in range(domains.n_racks):
+        members = domains.rack_members(rack)
+        for t in _poisson_times(rng, params.rack_crash_rate_per_day, horizon):
+            events.append(FaultEvent(t, "crash", "rack", rack, members,
+                                     params.crash_duration))
+
+    for domain in range(domains.n_power_domains):
+        members = domains.power_domain_members(domain)
+        for t in _poisson_times(rng, params.power_outage_rate_per_day,
+                                horizon):
+            events.append(FaultEvent(t, "crash", "power", domain, members,
+                                     params.power_outage_duration))
+
+    if params.maintenance_interval_days > 0:
+        interval = params.maintenance_interval_days * DAY_SECONDS
+        for rack in range(domains.n_racks):
+            members = domains.rack_members(rack)
+            # Random phase spreads rack windows over the cadence so the
+            # cell never loses every rack at once to planned work.
+            t = float(rng.uniform(0.0, interval))
+            while t < horizon:
+                events.append(FaultEvent(t, "maintenance", "rack", rack,
+                                         members, params.maintenance_duration))
+                t += interval
+
+    if params.upgrade_period_hours > 0:
+        period = params.upgrade_period_hours * HOUR_SECONDS
+        sweep_start = float(rng.uniform(0.0, period))
+        while sweep_start < horizon:
+            for rack in range(domains.n_racks):
+                t = sweep_start + rack * params.upgrade_step
+                if t < horizon:
+                    events.append(FaultEvent(t, "upgrade", "rack", rack,
+                                             domains.rack_members(rack),
+                                             params.upgrade_duration))
+            sweep_start += period
+
+    events.sort(key=lambda e: (e.time, FAULT_KINDS.index(e.kind),
+                               e.scope, e.domain_id))
+    return events

@@ -19,12 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.faults.schedule import FaultEvent, FaultParams, generate_fault_schedule
 from repro.obs.recorder import CellRecorder
 from repro.sim.autopilot import AutopilotParams
 from repro.sim.batch import BatchParams, BatchQueue
 from repro.sim.dependencies import DependencyManager
 from repro.sim.entities import (
     Collection,
+    CollectionType,
     EndReason,
     Instance,
     InstanceState,
@@ -89,6 +91,11 @@ class CellConfig:
     machine_downtime_duration: float = 900.0
     #: Tiers allowed to preempt lower tiers.
     preempting_tiers: Tuple[Tier, ...] = (Tier.PROD, Tier.MONITORING)
+    #: Correlated fault injection (rack/power-domain outages, rolling
+    #: upgrades, resubmission storms).  ``None`` — the default — keeps
+    #: the cell byte-identical to a pre-fault-injection run: no extra
+    #: RNG draws, no extra events (DESIGN.md §14).
+    faults: Optional[FaultParams] = None
 
     def __post_init__(self):
         if self.era not in ("2011", "2019"):
@@ -112,6 +119,11 @@ class SimCounters:
     machine_downtimes: int = 0
     batch_queued: int = 0
     cascade_kills: int = 0
+    fault_events: int = 0
+    fault_machine_outages: int = 0
+    resubmissions: int = 0
+    resubmit_chain_exhausted: int = 0
+    resubmit_budget_exhausted: int = 0
 
 
 @dataclass
@@ -231,6 +243,24 @@ class CellSim:
         self._rng_hazard = rng.stream("hazards")
         self._rng_usage = rng.stream("usage")
         self._rng_machine = rng.stream("machine-downtime")
+        # Fault-injection state.  Everything here is created only when
+        # faults are configured: an unfaulted cell must not consume RNG
+        # streams or change its event sequence in any way.
+        self._resubmit_policy = (config.faults.resubmit
+                                 if config.faults is not None else None)
+        if config.faults is not None:
+            self._fault_domains = config.faults.domains_for(len(self.machines))
+            self._rng_faults = rng.stream("faults")
+        if self._resubmit_policy is not None:
+            self._rng_resubmit = rng.stream("resubmit")
+            #: collection_id -> (chain root id, attempt number so far).
+            self._resubmit_meta: Dict[int, Tuple[int, int]] = {}
+            #: Remaining per-user retry budget (the storm brake).
+            self._user_retry_left: Dict[str, int] = {}
+            # Resubmitted clones need fresh ids far above the workload's
+            # own id range (uniqueness is per-cell).
+            max_id = max((c.collection_id for c in self.workload), default=0)
+            self._resubmit_ids = itertools.count(max_id + 1_000_000)
         # Hazard-arming fast path: exponential scales precomputed per
         # tier (same float64 division, done once instead of per arming)
         # and the generator methods bound once.  Every schedule event
@@ -264,6 +294,14 @@ class CellSim:
                     self._push(t, "machine_down", machine)
                     t += self.config.machine_downtime_duration
                     t += float(self._rng_machine.exponential(1.0 / rate))
+        # Correlated fault schedule (rack/power crashes, maintenance
+        # windows, rolling upgrades) — only when configured.
+        if self.config.faults is not None:
+            schedule = generate_fault_schedule(
+                self.config.faults, self._fault_domains,
+                self.config.horizon, self._rng_faults)
+            for fault in schedule:
+                self._push(fault.time, "fault", fault)
 
     # ------------------------------------------------------------------- run
 
@@ -299,6 +337,8 @@ class CellSim:
             "machine_down": self._on_machine_down,
             "machine_up": self._on_machine_up,
             "collection_timeout": self._on_collection_timeout,
+            "fault": self._on_fault,
+            "resubmit": self._on_resubmit,
         }
         # Counter handles are bound once so the hot loop pays one integer
         # add per event, not a registry lookup (instrumentation overhead
@@ -348,6 +388,7 @@ class CellSim:
             registry.inc("sim." + name, value)
         registry.inc("sim.usage_rows", len(usage["window_start"]))
         registry.gauge("sim.machines", len(self.machines))
+        registry.gauge("sim.machines_up", self.fleet.up_count())
         registry.gauge("sim.collections", len(self._collections))
 
     # -------------------------------------------------------------- handlers
@@ -722,6 +763,33 @@ class CellSim:
                             machine.capacity.cpu, machine.capacity.mem)
         self._ensure_round(t)
 
+    def _on_fault(self, t: float, fault: FaultEvent) -> None:
+        """A correlated outage: a rack or power domain goes down at once.
+
+        Planned outages (maintenance windows, rolling upgrades) drain
+        production work like baseline per-machine maintenance; unplanned
+        crashes evict *everything* — a dead switch does not honor the
+        eviction SLO.  Machines already down (overlapping outage) are
+        skipped, mirroring :meth:`_on_machine_down`; their earlier
+        ``machine_up`` event still governs their return.
+        """
+        self.counters.fault_events += 1
+        planned = fault.kind != "crash"
+        for index in fault.machine_indices:
+            machine = self.machines[index]
+            if not machine.up:
+                continue
+            self.counters.fault_machine_outages += 1
+            machine.up = False
+            self.events.machine(t, machine.machine_id, "REMOVE",
+                                machine.capacity.cpu, machine.capacity.mem)
+            for instance in list(machine.instances):
+                if planned and instance.tier in self.config.preempting_tiers:
+                    self._drain_instance(t, instance)
+                else:
+                    self._evict_instance(t, instance)
+            self._push(t + fault.duration, "machine_up", machine)
+
     # --------------------------------------------------------- terminations
 
     def _on_collection_end(self, t: float, collection: Collection) -> None:
@@ -756,10 +824,80 @@ class CellSim:
             self._batch.release(collection)
         # The termination freed capacity: let waiting work try again.
         self._ensure_round(t)
+        # Failed jobs come back: users and frameworks retry with backoff
+        # (fault injection only; never triggers for KILL/FINISH/EVICT).
+        if (self._resubmit_policy is not None and reason is EndReason.FAIL
+                and not collection.is_alloc_set):
+            self._maybe_resubmit(t, collection)
         # Dependency cascade: children are killed when the parent exits.
         for child in self._deps.on_termination(collection):
             self.counters.cascade_kills += 1
             self._terminate_collection(t, child, EndReason.KILL)
+
+    # --------------------------------------------------------- resubmission
+
+    def _maybe_resubmit(self, t: float, collection: Collection) -> None:
+        """Schedule a failed job's resubmission, if its chain/budget allow.
+
+        Pure bookkeeping — no RNG: the backoff is the policy's
+        deterministic bounded-exponential schedule, so per-chain delays
+        strictly increase up to the cap (a property the event-invariant
+        suite verifies from the log alone).
+        """
+        policy = self._resubmit_policy
+        root_id, attempts = self._resubmit_meta.get(
+            collection.collection_id, (collection.collection_id, 0))
+        attempt = attempts + 1
+        if attempt > policy.max_attempts:
+            self.counters.resubmit_chain_exhausted += 1
+            return
+        left = self._user_retry_left.setdefault(collection.user,
+                                                policy.user_retry_budget)
+        if left <= 0:
+            self.counters.resubmit_budget_exhausted += 1
+            return
+        self._user_retry_left[collection.user] = left - 1
+        delay = policy.delay(attempt)
+        self._push(t + delay, "resubmit", (collection, root_id, attempt, delay))
+
+    def _on_resubmit(self, t: float, payload) -> None:
+        """Re-enter a failed job as a fresh collection (new id, new SUBMIT).
+
+        That is how the real trace shows resubmissions — repeated
+        near-identical collections from the same user; the
+        :class:`~repro.sim.events.ResubmitEvent` side stream carries the
+        chain provenance analyses need.
+        """
+        failed, root_id, attempt, delay = payload
+        policy = self._resubmit_policy
+        # Crash loops: most retries of a genuinely broken job fail again.
+        refail = bool(self._rng_resubmit.random() < policy.refail_prob)
+        clone = Collection(
+            collection_id=next(self._resubmit_ids),
+            collection_type=CollectionType.JOB,
+            priority=failed.priority,
+            tier=failed.tier,
+            user=failed.user,
+            submit_time=t,
+            scheduler=failed.scheduler,
+            alloc_collection_id=failed.alloc_collection_id,
+            autopilot_mode=failed.autopilot_mode,
+            constraint=failed.constraint,
+            planned_duration=failed.planned_duration,
+            planned_end=EndReason.FAIL if refail else EndReason.FINISH,
+            cpu_usage_fraction=failed.cpu_usage_fraction,
+            mem_usage_fraction=failed.mem_usage_fraction,
+        )
+        for index, instance in enumerate(failed.instances):
+            clone.instances.append(Instance(
+                collection=clone, index=index, request=instance.request,
+            ))
+        self._resubmit_meta[clone.collection_id] = (root_id, attempt)
+        self.counters.resubmissions += 1
+        self.events.resubmit(t, clone.collection_id, failed.collection_id,
+                             root_id, attempt, delay, clone.user,
+                             clone.tier._value_)
+        self._on_submit(t, clone)
 
     def _finalize(self, horizon: float) -> None:
         """Close run intervals of instances still running at the horizon.

@@ -81,6 +81,25 @@ class MachineEvent(NamedTuple):
     mem_capacity: float
 
 
+class ResubmitEvent(NamedTuple):
+    """Provenance of one resubmission: which failed job it retries.
+
+    The resubmitted collection appears in the ordinary collection/
+    instance streams as a brand-new SUBMIT (that is how the real trace
+    shows resubmissions — fresh collection ids); this side stream is
+    what lets analyses stitch chains back together.
+    """
+
+    time: float               # when the resubmission entered the cell
+    collection_id: int        # the new (resubmitted) collection
+    prev_collection_id: int   # the failed collection it retries
+    root_collection_id: int   # the chain's original collection
+    attempt: int              # 1-based resubmission attempt number
+    delay: float              # backoff that preceded this resubmission
+    user: str
+    tier: str
+
+
 class EventLog:
     """Append-only streams of collection, instance and machine events.
 
@@ -95,6 +114,7 @@ class EventLog:
         self.collection_events: List[CollectionEvent] = []
         self.instance_events: List[InstanceEvent] = []
         self.machine_events: List[MachineEvent] = []
+        self.resubmit_events: List[ResubmitEvent] = []
 
     def collection(self, time: float, collection, event: EventType) -> None:
         """Record a collection-level event."""
@@ -157,6 +177,15 @@ class EventLog:
             MachineEvent(time, machine_id, event, cpu_capacity, mem_capacity)
         )
 
+    def resubmit(self, time: float, collection_id: int,
+                 prev_collection_id: int, root_collection_id: int,
+                 attempt: int, delay: float, user: str, tier: str) -> None:
+        """Record resubmission provenance (fault injection only)."""
+        self.resubmit_events.append(
+            ResubmitEvent(time, collection_id, prev_collection_id,
+                          root_collection_id, attempt, delay, user, tier)
+        )
+
     def __len__(self) -> int:
         return (len(self.collection_events) + len(self.instance_events)
-                + len(self.machine_events))
+                + len(self.machine_events) + len(self.resubmit_events))

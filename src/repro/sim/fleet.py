@@ -73,6 +73,10 @@ class FleetState:
         """The integer code of ``platform``; -1 if no machine has it."""
         return self._platform_codes.get(platform, -1)
 
+    def up_count(self) -> int:
+        """How many machines are currently up (fault-injection telemetry)."""
+        return int(self.up.sum())
+
     # -- sync hooks (called by Machine) ---------------------------------------
 
     def sync_allocated(self, index: int, cpu: float, mem: float) -> None:

@@ -19,7 +19,13 @@ from repro.workload.params import (
     era_2011,
     era_2019,
 )
-from repro.workload.jobs import WorkloadGenerator
+from repro.workload.jobs import WorkloadGenerator, build_simple_job
+from repro.workload.archetypes import (
+    ARCHETYPE_MIXES,
+    ArchetypeMix,
+    ArchetypeWorkload,
+    archetype_of_user,
+)
 from repro.workload.replay import (
     ReplayComponents,
     machines_from_trace,
@@ -45,6 +51,11 @@ __all__ = [
     "era_2011",
     "era_2019",
     "WorkloadGenerator",
+    "build_simple_job",
+    "ARCHETYPE_MIXES",
+    "ArchetypeMix",
+    "ArchetypeWorkload",
+    "archetype_of_user",
     "ReplayComponents",
     "machines_from_trace",
     "replay_components",

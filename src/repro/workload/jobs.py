@@ -58,6 +58,53 @@ class _AllocSetInfo:
     instance_size: Resources
 
 
+def build_simple_job(*, collection_id: int, tier: Tier, user: str,
+                     submit_time: float, priority: int, n_tasks: int,
+                     duration: float, cpu_usage: float, mem_usage: float,
+                     cpu_fraction: float, mem_fraction: float,
+                     planned_end: EndReason,
+                     batch_queueing: bool) -> Collection:
+    """Construct one job from an explicit shape (no calibration).
+
+    The archetype generators (:mod:`repro.workload.archetypes`) and
+    tests describe jobs directly — per-task usage, a limit fraction, a
+    duration — instead of deriving them from the era's size mixture.
+    This helper applies the same per-task caps and request backing-out
+    as the calibrated path so hand-shaped jobs stay schedulable on
+    scaled-down cells.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    cpu_usage = min(max(cpu_usage, 1e-4), MAX_TASK_USAGE)
+    mem_usage = min(max(mem_usage, 1e-5), MAX_TASK_USAGE)
+    cpu_fraction = min(max(cpu_fraction, 0.05), 0.95)
+    mem_fraction = min(max(mem_fraction, 0.05), 0.95)
+    cpu_request = min(max(cpu_usage / cpu_fraction, cpu_usage), MAX_TASK_REQUEST)
+    mem_request = min(max(mem_usage / mem_fraction, mem_usage), MAX_TASK_REQUEST)
+    scheduler = (SchedulerKind.BATCH
+                 if tier is Tier.BEB and batch_queueing
+                 else SchedulerKind.BORG)
+    collection = Collection(
+        collection_id=collection_id,
+        collection_type=CollectionType.JOB,
+        priority=priority,
+        tier=tier,
+        user=user,
+        submit_time=submit_time,
+        scheduler=scheduler,
+        planned_duration=max(duration, MIN_DURATION),
+        planned_end=planned_end,
+        cpu_usage_fraction=min(cpu_usage / cpu_request, 0.95),
+        mem_usage_fraction=min(mem_usage / mem_request, 0.95),
+    )
+    request = Resources(cpu_request, mem_request)
+    for index in range(n_tasks):
+        collection.instances.append(Instance(
+            collection=collection, index=index, request=request,
+        ))
+    return collection
+
+
 class WorkloadGenerator:
     """Generates one cell's workload."""
 

@@ -18,8 +18,9 @@ exponents are preserved; pass bigger ``machines_per_cell`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.faults import FaultParams, resolve_faults
 from repro.sim.batch import BatchParams
 from repro.sim.cell import CellConfig, CellResult, CellSim
 from repro.sim.machine import Machine
@@ -29,9 +30,18 @@ from repro.sim.scheduler import SchedulerParams
 from repro.sim.entities import Collection
 from repro.util.rng import RngFactory
 from repro.util.timeutil import HOUR_SECONDS
+from repro.workload.archetypes import (
+    ArchetypeMix,
+    ArchetypeWorkload,
+    resolve_archetype_mix,
+)
 from repro.workload.fleet import build_machines, fleet_2011, fleet_2019
 from repro.workload.jobs import WorkloadGenerator
 from repro.workload.params import EraParams, era_2011, era_2019
+
+#: Scenario knob types: a profile/mix name, the explicit value, or None.
+FaultsKnob = Union[str, FaultParams, None]
+ArchetypeKnob = Union[str, ArchetypeMix, None]
 
 #: (utc_offset_hours, usage multipliers {tier: (cpu, mem)}, usage-fraction
 #: multipliers {tier: (cpu, mem)}) per 2019 cell.  Usage multipliers move a
@@ -98,6 +108,8 @@ def _build_scenario(name: str, era: EraParams, seed: int, machines_per_cell: int
                     tier_multipliers: Optional[Dict[Tier, Tuple[float, float]]],
                     sample_period: float, id_offset: int,
                     tier_fraction_multipliers: Optional[Dict[Tier, Tuple[float, float]]] = None,
+                    faults: Optional[FaultParams] = None,
+                    archetype_mix: Optional[ArchetypeMix] = None,
                     ) -> CellScenario:
     rng = RngFactory(seed).child(f"cell-{name}")
     shapes = fleet_2011() if era.era == "2011" else fleet_2019()
@@ -150,32 +162,51 @@ def _build_scenario(name: str, era: EraParams, seed: int, machines_per_cell: int
         batch_queueing=era.batch_queueing,
         eviction_rate_per_hour=dict(era.eviction_rate_per_hour),
         restart_rate_per_hour=era.restart_rate_per_hour,
+        faults=faults,
     )
+    workload = generator.generate()
+    if archetype_mix is not None and archetype_mix.n_users > 0:
+        # Archetype jobs ride on ids far above the calibrated workload's
+        # range (uniqueness is per-cell) and draw from their own stream,
+        # so the base workload's bytes never move.
+        archetypes = ArchetypeWorkload(
+            era=era, capacity=capacity, horizon=horizon,
+            rng=rng.stream("archetypes"), id_offset=id_offset + 5_000_000)
+        workload = workload + archetypes.generate(archetype_mix)
+        workload.sort(key=lambda c: c.submit_time)
     return CellScenario(name=name, era=era, config=config, machines=machines,
-                        workload=generator.generate(), seed=seed)
+                        workload=workload, seed=seed)
 
 
 def scenario_2011(seed: int = 0, machines_per_cell: int = 100,
                   horizon_hours: float = 96.0, arrival_scale: float = 0.02,
-                  sample_period: float = 900.0) -> CellScenario:
+                  sample_period: float = 900.0,
+                  faults: FaultsKnob = None, fault_rate: float = 1.0,
+                  archetype_mix: ArchetypeKnob = None) -> CellScenario:
     """The single 2011 cell."""
     return _build_scenario(
         name="2011", era=era_2011(), seed=seed,
         machines_per_cell=machines_per_cell, horizon_hours=horizon_hours,
         arrival_scale=arrival_scale, utc_offset_hours=-7.0,
         tier_multipliers=None, sample_period=sample_period, id_offset=0,
+        faults=resolve_faults(faults, fault_rate),
+        archetype_mix=resolve_archetype_mix(archetype_mix),
     )
 
 
 def scenarios_2019(seed: int = 0, machines_per_cell: int = 100,
                    horizon_hours: float = 96.0, arrival_scale: float = 0.02,
                    sample_period: float = 900.0,
-                   cells: Optional[List[str]] = None) -> List[CellScenario]:
+                   cells: Optional[List[str]] = None,
+                   faults: FaultsKnob = None, fault_rate: float = 1.0,
+                   archetype_mix: ArchetypeKnob = None) -> List[CellScenario]:
     """The eight 2019 cells a-h (or a subset via ``cells``)."""
     wanted = cells or sorted(CELL_PROFILES_2019)
     unknown = set(wanted) - set(CELL_PROFILES_2019)
     if unknown:
         raise ValueError(f"unknown 2019 cells: {sorted(unknown)}")
+    fault_params = resolve_faults(faults, fault_rate)
+    mix = resolve_archetype_mix(archetype_mix)
     out = []
     for i, name in enumerate(wanted):
         offset, multipliers, fraction_multipliers = CELL_PROFILES_2019[name]
@@ -186,6 +217,7 @@ def scenarios_2019(seed: int = 0, machines_per_cell: int = 100,
             tier_multipliers=multipliers, sample_period=sample_period,
             id_offset=(i + 1) * 10_000_000,
             tier_fraction_multipliers=fraction_multipliers,
+            faults=fault_params, archetype_mix=mix,
         ))
     return out
 
@@ -193,14 +225,25 @@ def scenarios_2019(seed: int = 0, machines_per_cell: int = 100,
 def small_test_scenario(seed: int = 0, era: str = "2019",
                         machines_per_cell: int = 24,
                         horizon_hours: float = 12.0,
-                        arrival_scale: float = 0.012) -> CellScenario:
-    """A seconds-fast scenario for unit tests and quick exploration."""
+                        arrival_scale: float = 0.012,
+                        faults: FaultsKnob = None, fault_rate: float = 1.0,
+                        archetype_mix: ArchetypeKnob = None) -> CellScenario:
+    """A seconds-fast scenario for unit tests and quick exploration.
+
+    ``faults``/``archetype_mix`` default to off, so every pre-existing
+    fixture and golden built on this scenario is byte-identical to the
+    pre-fault-injection library.
+    """
     if era == "2011":
         return scenario_2011(seed=seed, machines_per_cell=machines_per_cell,
                              horizon_hours=horizon_hours,
                              arrival_scale=arrival_scale * 3.5,
-                             sample_period=300.0)
+                             sample_period=300.0, faults=faults,
+                             fault_rate=fault_rate,
+                             archetype_mix=archetype_mix)
     return scenarios_2019(seed=seed, machines_per_cell=machines_per_cell,
                           horizon_hours=horizon_hours,
                           arrival_scale=arrival_scale,
-                          sample_period=300.0, cells=["d"])[0]
+                          sample_period=300.0, cells=["d"], faults=faults,
+                          fault_rate=fault_rate,
+                          archetype_mix=archetype_mix)[0]

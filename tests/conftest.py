@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.trace import encode_cell
-from tests.trace_fixtures import TEST_SCALE, build_result
+from tests.trace_fixtures import FAULTY_SCALE, TEST_SCALE, build_result
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +39,17 @@ def trace_2011(result_2011):
 @pytest.fixture(scope="session")
 def traces_2019(trace_2019):
     return [trace_2019]
+
+
+@pytest.fixture(scope="session")
+def result_2019_faulty():
+    """The failure-heavy 2019 cell: heavy faults + mixed archetypes."""
+    return build_result("2019", FAULTY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def trace_2019_faulty(result_2019_faulty):
+    return encode_cell(result_2019_faulty)
 
 
 @pytest.fixture(scope="session")

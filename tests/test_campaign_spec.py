@@ -37,9 +37,26 @@ class TestValidation:
     def test_bad_values_rejected(self):
         for base in ({"machines": 0}, {"machines": 2.5}, {"hours": -1},
                      {"scale": 0}, {"era": "2025"}, {"cells": []},
-                     {"overcommit_cpu": 0.5}, {"machines": True}):
+                     {"overcommit_cpu": 0.5}, {"machines": True},
+                     {"faults": "meteor"}, {"faults": 3},
+                     {"fault_rate": 0}, {"archetype_mix": "nobody"}):
             with pytest.raises(CampaignSpecError):
                 parse_spec(minimal(base=base))
+
+    def test_fault_axes_accepted(self):
+        spec = parse_spec(minimal(
+            base={"machines": 8, "hours": 2.0, "archetype_mix": "mixed"},
+            grid={"faults": [None, "light", "heavy"],
+                  "fault_rate": [0.5, 2.0]},
+            seeds=[0]))
+        assert len(spec.points) == 6
+        assert spec.base["archetype_mix"] == "mixed"
+        values = {p.grid_values["faults"] for p in spec.points}
+        assert values == {None, "light", "heavy"}
+        # Defaults leave fault injection off.
+        assert DEFAULT_PARAMS["faults"] is None
+        assert DEFAULT_PARAMS["archetype_mix"] is None
+        assert DEFAULT_PARAMS["fault_rate"] == 1.0
 
     def test_era_cell_consistency(self):
         with pytest.raises(CampaignSpecError, match="unknown 2019 cells"):
@@ -107,6 +124,7 @@ class TestExpansion:
     def test_example_specs_parse(self):
         from pathlib import Path
         examples = Path(__file__).resolve().parents[1] / "examples"
-        for name in ("campaign_overcommit.json", "campaign_smoke.json"):
+        for name in ("campaign_overcommit.json", "campaign_smoke.json",
+                     "campaign_failures.json"):
             spec = load_spec(examples / name)
             assert spec.points

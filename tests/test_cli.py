@@ -64,6 +64,31 @@ class TestValidate:
         assert "violations" in capsys.readouterr().out
 
 
+class TestSimulateFaults:
+    def test_fault_flags_parse_and_run(self, tmp_path, capsys):
+        rc = main([
+            "simulate", "--cells", "d", "--out", str(tmp_path),
+            "--machines", "8", "--hours", "2", "--scale", "0.01",
+            "--seed", "3", "--faults", "heavy", "--fault-rate", "10",
+            "--archetype-mix", "mixed",
+        ])
+        assert rc == 0
+        assert (tmp_path / "d" / "metadata.json").exists()
+        assert "simulated in" in capsys.readouterr().out
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--faults", "meteor"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--archetype-mix", "x"])
+
+    def test_fault_defaults_off(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.faults is None
+        assert args.archetype_mix is None
+        assert args.fault_rate == 1.0
+
+
 class TestSimulateStoreFormat:
     def test_store_format_and_timing_log(self, tmp_path, capsys):
         rc = main([

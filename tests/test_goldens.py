@@ -22,7 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.analysis import consumption, machine_util, submission, summary
+from repro.analysis import consumption, failures, machine_util, submission, summary
 from repro.analysis.common import job_usage_integrals
 from repro.queueing import compare_isolation, pollaczek_khinchine
 from repro.stats import squared_cv, top_share
@@ -33,6 +33,9 @@ GOLDEN_DIR = Path(__file__).parent / "goldens"
 #: CCDF evaluation grids (mirror the benchmark suite's print grids).
 UTIL_GRID = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 USAGE_GRID = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+#: Resubmission backoff delays (seconds) — spans the heavy profile's
+#: exponential ladder (60 * 2**k, capped at an hour).
+RESUBMIT_GRID = (30.0, 60.0, 120.0, 240.0, 480.0, 960.0, 1800.0, 3600.0)
 
 
 def _jsonable(value):
@@ -134,3 +137,27 @@ def test_golden_fig12_usage_ccdf(traces_2011, traces_2019):
         for resource in ("cpu", "mem")
     }
     _check_golden("fig12_usage_ccdf", computed)
+
+
+# -- scenario-pack goldens: the failure-heavy seed-11 cell ------------------
+
+def test_golden_failure_rates_by_tier(trace_2019_faulty):
+    computed = failures.failure_rates_by_tier([trace_2019_faulty])
+    computed["availability"] = failures.machine_availability(
+        [trace_2019_faulty], horizon=12 * 3600.0)
+    _check_golden("failure_rates_by_tier", computed)
+
+
+def test_golden_resubmission_intervals(result_2019_faulty):
+    ccdf = failures.resubmission_interval_ccdf([result_2019_faulty])
+    computed = {
+        "ccdf": [ccdf.at(x) for x in RESUBMIT_GRID],
+        "median_delay": ccdf.quantile_of_exceedance(0.5),
+        "report": failures.resubmission_report([result_2019_faulty]),
+    }
+    _check_golden("resubmission_intervals", computed)
+
+
+def test_golden_archetype_usage_shares(trace_2019_faulty):
+    _check_golden("archetype_usage_shares",
+                  failures.archetype_usage_shares([trace_2019_faulty]))

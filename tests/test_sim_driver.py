@@ -135,3 +135,55 @@ class TestEdgeCases:
         record.close()
         assert len(results) == 3
         assert registry.snapshot().gauges.get("sim.pool_workers") == 3
+
+
+def _faulty_scenarios():
+    """Two failure-heavy cells: heavy faults + mixed archetypes."""
+    return scenarios_2019(seed=7, machines_per_cell=12, horizon_hours=3.0,
+                          arrival_scale=0.015, sample_period=300.0,
+                          cells=["a", "g"], faults="heavy",
+                          fault_rate=25.0, archetype_mix="mixed")
+
+
+class TestFailureHeavyDeterminism:
+    """The scenario-pack determinism sweep: fault injection, resubmission
+    and archetype workloads must stay bit-exact between serial and
+    pooled execution at a fixed seed."""
+
+    def test_parallel_traces_identical_to_serial(self):
+        serial = run_cells(_faulty_scenarios(), workers=1)
+        pooled = run_cells(_faulty_scenarios(), workers=2)
+        assert any(r.counters.fault_events for r in serial)
+        assert [_fingerprint(encode_cell(r)) for r in serial] == \
+            [_fingerprint(encode_cell(r)) for r in pooled]
+        # The resubmission side stream is part of the contract too.
+        assert [r.events.resubmit_events for r in serial] == \
+            [r.events.resubmit_events for r in pooled]
+
+    def test_rerun_is_bit_exact(self):
+        a = run_cells(_faulty_scenarios(), workers=1)
+        b = run_cells(_faulty_scenarios(), workers=1)
+        assert [_fingerprint(encode_cell(r)) for r in a] == \
+            [_fingerprint(encode_cell(r)) for r in b]
+        assert [r.counters for r in a] == [r.counters for r in b]
+
+    def test_serial_equals_pooled_frames(self, tmp_path):
+        from repro.obs.recorder import RunRecorder, StatusLine, \
+            read_frames, strip_volatile
+
+        def record_run(name, workers):
+            path = tmp_path / f"{name}.jsonl"
+            with obs.scoped_registry():
+                record = RunRecorder(path, interval=3600.0,
+                                     status=StatusLine(enabled=False))
+                run_cells(_faulty_scenarios(), workers=workers,
+                          record=record)
+                record.finalize("test")
+                record.close()
+            return [strip_volatile(f) for f in read_frames(path)
+                    if f["kind"] == "frame"]
+
+        serial = record_run("serial", None)
+        pooled = record_run("pooled", 2)
+        assert serial  # the failure-heavy run must emit cell frames
+        assert serial == pooled

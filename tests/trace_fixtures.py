@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from repro.trace import encode_cell
 from repro.trace.dataset import TraceDataset
@@ -42,12 +42,23 @@ class TraceScale:
     #: whole workload, so the small scale boosts its arrival rate
     #: (mirrors ``repro.workload.small_test_scenario``).
     boost_2011: float = 1.0
+    #: Fault-injection profile name and archetype mix name (off/None by
+    #: default, so every pre-existing fixture and golden stays
+    #: byte-identical to the pre-fault-injection suite).
+    faults: Optional[str] = None
+    fault_rate: float = 1.0
+    archetype_mix: Optional[str] = None
 
 
 #: The unit-test scale: identical to ``small_test_scenario(seed=11)``.
 TEST_SCALE = TraceScale(machines=24, hours=12.0, arrival_scale=0.012,
                         seed=11, sample_period=300.0, cells_2019=("d",),
                         boost_2011=3.5)
+
+#: The failure-heavy unit-test scale: ``TEST_SCALE`` plus the heavy
+#: fault profile (crashes, outages, maintenance, upgrades, resubmission)
+#: and the mixed archetype crowd — the scenario-pack fixtures.
+FAULTY_SCALE = replace(TEST_SCALE, faults="heavy", archetype_mix="mixed")
 
 
 def bench_scale() -> TraceScale:
@@ -91,12 +102,16 @@ def _scenarios(era: str, scale: TraceScale):
                               machines_per_cell=scale.machines,
                               horizon_hours=scale.hours,
                               arrival_scale=scale.arrival_scale * scale.boost_2011,
-                              sample_period=scale.sample_period)]
+                              sample_period=scale.sample_period,
+                              faults=scale.faults, fault_rate=scale.fault_rate,
+                              archetype_mix=scale.archetype_mix)]
     return scenarios_2019(seed=scale.seed, machines_per_cell=scale.machines,
                           horizon_hours=scale.hours,
                           arrival_scale=scale.arrival_scale,
                           sample_period=scale.sample_period,
-                          cells=list(scale.cells_2019))
+                          cells=list(scale.cells_2019),
+                          faults=scale.faults, fault_rate=scale.fault_rate,
+                          archetype_mix=scale.archetype_mix)
 
 
 def _encode(scenario, verbose: bool) -> TraceDataset:
