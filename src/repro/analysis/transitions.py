@@ -80,5 +80,7 @@ def transition_table(trace: TraceDataset) -> List[Tuple[str, str, int, int]]:
     keys = set(coll) | set(inst)
     rows = [(src, dst, coll.get((src, dst), 0), inst.get((src, dst), 0))
             for src, dst in keys]
-    rows.sort(key=lambda r: -(r[2] + r[3]))
+    # Tie-break on the labels: ``keys`` is a set, so count-only sorting
+    # would leave equal-total rows in hash-randomized order across runs.
+    rows.sort(key=lambda r: (-(r[2] + r[3]), r[0], r[1]))
     return [r for r in rows if r[2] + r[3] > 0]

@@ -72,12 +72,65 @@ def limit_trajectory(mode: AutopilotMode, initial_limit: float,
     for shift in range(2, min(params.peak_window, n - 1) + 1):
         trailing[shift - 1:] = np.maximum(trailing[shift - 1:], mu[:n - shift])
     target = trailing * params.margin
-    window_limits = np.clip(target, floor, initial_limit)
+    # clip(a, lo, hi) spelled as its definition minimum(maximum(a, lo),
+    # hi): identical floats for the finite values here, without np.clip's
+    # per-call dispatch overhead.
+    window_limits = np.minimum(np.maximum(target, floor), initial_limit)
     # React to overload within the window: never cap below usage.
     overload = window_limits < mu[1:]
     window_limits[overload] = np.minimum(initial_limit,
                                          mu[1:][overload] * params.margin)
     limits[1:] = window_limits
+    return limits
+
+
+def limit_trajectory_rows(wpos: np.ndarray, mu: np.ndarray,
+                          initial: np.ndarray, floor: np.ndarray,
+                          params: AutopilotParams = AutopilotParams()) -> np.ndarray:
+    """Row-vectorized :func:`limit_trajectory` over concatenated segments.
+
+    Inputs are per-*window* rows of many records' trajectories laid out
+    back to back in record order: ``wpos`` is each row's 0-based window
+    position within its record (so a new record starts wherever ``wpos``
+    returns to 0), ``mu`` the within-window peak usage, and ``initial``/
+    ``floor`` the record's limit and floor repeated across its rows.
+
+    Returns the same limits as calling :func:`limit_trajectory` once per
+    record, bit-for-bit: the trailing-peak fold uses the same exact
+    ``np.maximum`` selections (max is order-free and exact), and every
+    elementwise op matches the scalar-parameter spelling — a float64
+    array cell multiplies/compares exactly like the Python scalar it was
+    broadcast from.  The equivalence property test pins this.
+    """
+    limits = initial.copy()
+    if not len(mu):
+        return limits
+    margin = params.margin
+    # Rows past window 0 take the trailing-peak controller; window-0 rows
+    # keep the initial limit (the per-record path's n <= 1 early return
+    # falls out of the same mask).
+    jv = np.flatnonzero(wpos >= 1)
+    if not jv.size:
+        return limits
+    # trailing[w] = max(mu[w-1], ..., mu[w-peak_window]) within the
+    # record, built by shifted folds exactly like the per-record loop;
+    # segments are contiguous, so row j-s is window wpos[j]-s of the
+    # same record precisely when wpos[j] >= s.
+    trailing = np.empty(len(mu))
+    trailing[jv] = mu[jv - 1]
+    for shift in range(2, params.peak_window + 1):
+        j = np.flatnonzero(wpos >= shift)
+        if not j.size:
+            break
+        trailing[j] = np.maximum(trailing[j], mu[j - shift])
+    window_limits = np.minimum(
+        np.maximum(trailing[jv] * margin, floor[jv]), initial[jv])
+    mu_v = mu[jv]
+    overload = window_limits < mu_v
+    if overload.any():
+        window_limits[overload] = np.minimum(
+            initial[jv][overload], mu_v[overload] * margin)
+    limits[jv] = window_limits
     return limits
 
 

@@ -11,10 +11,9 @@ the usage-sample arrays, and the final collection states.
 from __future__ import annotations
 
 import gc
-import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +31,7 @@ from repro.sim.entities import (
     InstanceState,
     SchedulerKind,
 )
+from repro.sim.eventq import QUEUE_KINDS, make_queue
 from repro.sim.events import EventLog, EventType
 from repro.sim.fleet import FleetState
 from repro.sim.machine import Machine
@@ -96,12 +96,20 @@ class CellConfig:
     #: the cell byte-identical to a pre-fault-injection run: no extra
     #: RNG draws, no extra events (DESIGN.md §14).
     faults: Optional[FaultParams] = None
+    #: Event-queue implementation: ``"heap"``, ``"calendar"``, or
+    #: ``None`` to use the library default
+    #: (:func:`repro.sim.eventq.set_default_queue`).  Both produce
+    #: bit-identical runs (DESIGN.md §15); calendar is faster at scale.
+    queue: Optional[str] = None
 
     def __post_init__(self):
         if self.era not in ("2011", "2019"):
             raise ValueError(f"era must be '2011' or '2019', got {self.era!r}")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self.queue is not None and self.queue not in QUEUE_KINDS:
+            raise ValueError(f"queue must be one of {QUEUE_KINDS} or None, "
+                             f"got {self.queue!r}")
 
 
 @dataclass
@@ -145,7 +153,7 @@ class CellResult:
 
 
 def _reconcile_machine_usage(usage: Dict[str, np.ndarray],
-                             machines: Sequence[Machine],
+                             machines: Union[Sequence[Machine], FleetState],
                              sample_period: float) -> None:
     """Throttle sampled usage to physical machine capacity, in place.
 
@@ -156,28 +164,34 @@ def _reconcile_machine_usage(usage: Dict[str, np.ndarray],
     per-(machine, window) scale-down to 98% of capacity.  This is also
     what makes the section-9 "usage <= machine capacity" trace invariant
     hold by construction rather than by luck.
+
+    ``machines`` may be a :class:`FleetState` (the simulator passes its
+    own) or a plain machine sequence (snapshotted here); either way the
+    per-group capacity lookup is one vectorized
+    :meth:`FleetState.capacity_by_id` gather, not a Python loop.
     """
     n = len(usage["window_start"])
     if n == 0:
         return
-    cap_cpu = {m.machine_id: m.capacity.cpu for m in machines}
-    cap_mem = {m.machine_id: m.capacity.mem for m in machines}
+    fleet = (machines if isinstance(machines, FleetState)
+             else FleetState(machines, attach=False))
     machine_ids = usage["machine_id"].astype(np.int64)
     window = (usage["window_start"] / sample_period).astype(np.int64)
     key = machine_ids * 10_000_000 + window
     order = np.argsort(key, kind="stable")
     sorted_key = key[order]
     starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_key)) + 1])
-    for col_avg, col_max, caps in (("avg_cpu", "max_cpu", cap_cpu),
-                                   ("avg_mem", "max_mem", cap_mem)):
+    group_machines = machine_ids[order][starts]
+    limit_cpu, limit_mem = fleet.capacity_by_id(group_machines)
+    counts = np.diff(np.append(starts, n))
+    for col_avg, col_max, limits in (("avg_cpu", "max_cpu", limit_cpu),
+                                     ("avg_mem", "max_mem", limit_mem)):
         sums = np.add.reduceat(usage[col_avg][order], starts)
-        group_machines = machine_ids[order][starts]
-        limits = np.asarray([caps.get(int(m), np.inf) for m in group_machines])
         factors = np.ones(len(starts))
         over = sums > limits * 0.98
         factors[over] = (limits[over] * 0.98) / sums[over]
         # Scatter the per-group factor back to rows.
-        row_factors = np.repeat(factors, np.diff(np.append(starts, len(order))))
+        row_factors = np.repeat(factors, counts)
         scale = np.ones(n)
         scale[order] = row_factors
         usage[col_avg] *= scale
@@ -203,8 +217,9 @@ class CellSim:
         self.events = EventLog()
         self.counters = SimCounters()
 
-        self._heap: List[Tuple[float, int, str, object]] = []
-        self._seq = itertools.count()
+        self._horizon = config.horizon
+        self._queue = make_queue(config.queue, config.horizon)
+        self._queue_push = self._queue.push
         self._pending = PendingQueue()
         #: Tasks that failed placement wait here and are retried on a
         #: slower cadence than fresh arrivals — re-scanning a saturated
@@ -279,7 +294,14 @@ class CellSim:
     # ------------------------------------------------------------------ setup
 
     def _push(self, time: float, kind: str, payload: object) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+        # Nothing scheduled at or past the horizon is ever processed (the
+        # run loop used to pop-and-discard the first such entry), so those
+        # events are dropped at the source instead of parked in the queue.
+        # Observable behavior is identical; the queue stays dramatically
+        # smaller, because most hazard delays (hours to years, per tier
+        # rate) overshoot the horizon.
+        if time < self._horizon:
+            self._queue_push(time, kind, payload)
 
     def _seed_events(self) -> None:
         for collection in self.workload:
@@ -347,24 +369,50 @@ class CellSim:
         kind_counters = {kind: obs.counter("sim.events." + kind)
                          for kind in handlers}
         recorder = self.recorder
+        # _push drops anything at or past the horizon, so the loop drains
+        # the queue to empty — no boundary check per event.  Exhaustion
+        # is signalled by pop() raising IndexError rather than a truth
+        # test per iteration (zero-cost try in 3.11).
+        queue = self._queue
+        pop = queue.pop
         with obs.span("sim.event_loop"):
-            while self._heap:
-                time, _, kind, payload = heapq.heappop(self._heap)
-                if time >= horizon:
-                    break
-                # Flight-recorder hook: sampled *before* the boundary-
-                # crossing event runs, so a frame at t=k·interval holds
-                # exactly the state of all events strictly before it.
-                if recorder is not None and time >= recorder.next_due:
-                    recorder.tick(time)
-                events_processed.inc()
-                kind_counters[kind].inc()
-                handlers[kind](time, payload)
+            if recorder is None:
+                # One dict probe per event: the handler and its per-kind
+                # tally share a slot, and both tallies flush into the
+                # obs counters once after the loop (identical totals).
+                dispatch = {kind: [handler, 0]
+                            for kind, handler in handlers.items()}
+                n_events = 0
+                while True:
+                    try:
+                        time, _, kind, payload = pop()
+                    except IndexError:
+                        break
+                    n_events += 1
+                    entry = dispatch[kind]
+                    entry[1] += 1
+                    entry[0](time, payload)
+                events_processed.inc(n_events)
+                for kind, entry in dispatch.items():
+                    kind_counters[kind].inc(entry[1])
+            else:
+                # Flight-recorder variant: counters stay live because
+                # recorder frames sample them mid-run.
+                while queue:
+                    time, _, kind, payload = pop()
+                    # Sampled *before* the boundary-crossing event runs,
+                    # so a frame at t=k·interval holds exactly the state
+                    # of all events strictly before it.
+                    if time >= recorder.next_due:
+                        recorder.tick(time)
+                    events_processed.inc()
+                    kind_counters[kind].inc()
+                    handlers[kind](time, payload)
         with obs.span("sim.finalize"):
             self._finalize(horizon)
             usage = self._usage.finalize(self._rng_usage)
         with obs.span("sim.reconcile_usage"):
-            _reconcile_machine_usage(usage, self.machines,
+            _reconcile_machine_usage(usage, self.fleet,
                                      self.config.sample_period)
         self._export_obs_counters(usage)
         if recorder is not None:
@@ -489,11 +537,14 @@ class CellSim:
         # Preempting tiers get their own cache since they can make room.
         failed: Dict[Tuple[bool, str], Tuple[float, float]] = {}
         progressed = False
+        preempting_tiers = self.config.preempting_tiers
         for instance in batch:
-            if instance.collection.is_done or instance.state is not InstanceState.PENDING:
+            collection = instance.collection
+            if (collection.end_reason is not None
+                    or instance.state is not InstanceState.PENDING):
                 continue
-            preempts = instance.tier in self.config.preempting_tiers
-            cache_key = (preempts, instance.constraint)
+            preempts = collection.tier in preempting_tiers
+            cache_key = (preempts, collection.constraint)
             f_cpu, f_mem = failed.get(cache_key, (float("inf"), float("inf")))
             req = instance.request
             if req.cpu >= f_cpu and req.mem >= f_mem:
@@ -585,15 +636,34 @@ class CellSim:
 
         self._arm_hazards(t, instance)
 
+    def _hazard_cap(self, collection: Collection) -> float:
+        """Latest time a hazard for ``collection`` can still do anything.
+
+        The collection's end event is already scheduled (hazards are only
+        armed after the first instance runs) and its lifetime is never
+        extended, so a hazard firing at or after that end — or at/after
+        the horizon — is guaranteed to find the instance dead (or the
+        run over) and no-op.  At the exact end time the end event wins
+        the tie: it was pushed earlier, so it carries the lower seq.
+        Dropping those pushes changes no trace bytes and no RNG draws
+        (the delay is drawn before the cap check; stale hazard handlers
+        return before touching any RNG stream).
+        """
+        end = collection.first_running_time + collection.planned_duration
+        return end if end < self._horizon else self._horizon
+
     def _arm_hazards(self, t: float, instance: Instance) -> None:
         collection = instance.collection
+        cap = self._hazard_cap(collection)
         scale = self._evict_scale.get(collection.tier.rank)
         if scale is not None:
             delay = float(self._hazard_exp(scale))
-            self._push(t + delay, "evict", (instance, instance.incarnation))
+            if t + delay < cap:
+                self._push(t + delay, "evict", (instance, instance.incarnation))
         if self._restart_scale and not instance.is_alloc_instance:
             delay = float(self._hazard_exp(self._restart_scale))
-            self._push(t + delay, "restart", (instance, instance.incarnation))
+            if t + delay < cap:
+                self._push(t + delay, "restart", (instance, instance.incarnation))
 
     # ------------------------------------------------------------ stop paths
 
@@ -686,23 +756,30 @@ class CellSim:
         instance, incarnation = payload
         if (instance.incarnation != incarnation
                 or instance.state is not InstanceState.RUNNING
-                or instance.collection.is_done):
+                or instance.collection.end_reason is not None):
             return
         self._evict_instance(t, instance)
 
     def _on_restart_hazard(self, t: float, payload) -> None:
+        # The hottest handler at paper scale (~30% of all events are
+        # crash-loop fires): collection fetched once, is_done spelled as
+        # the raw end_reason test, the hazard cap inlined, and the
+        # three-event record emitted through the shared-read fast path.
+        # RNG draw order and the event-record bytes are unchanged.
         instance, incarnation = payload
+        collection = instance.collection
         if (instance.incarnation != incarnation
                 or instance.state is not InstanceState.RUNNING
-                or instance.collection.is_done):
+                or collection.end_reason is not None):
             return
         # A task-level crash: the incarnation FAILs and is rescheduled.
         machine_id = instance.machine_id
-        self.counters.task_restarts += 1
-        self.events.instance(t, instance, EventType.FAIL, machine_id=machine_id,
-                             is_new=False)
+        counters = self.counters
+        counters.task_restarts += 1
         if self._hazard_random() < 0.10:
             # Occasionally the restart lands elsewhere: full stop + requeue.
+            self.events.instance(t, instance, EventType.FAIL,
+                                 machine_id=machine_id, is_new=False)
             self._stop_run(t, instance)
             instance.state = InstanceState.PENDING
             instance.pending_since = t
@@ -715,14 +792,17 @@ class CellSim:
         # and SCHEDULE events (the figure 9 "churn"), same machine, run
         # interval uninterrupted.
         instance.n_schedules += 1
-        self.counters.schedule_events += 1
-        self.counters.reschedule_events += 1
-        self.events.instance(t, instance, EventType.SUBMIT, is_new=False)
-        self.events.instance(t, instance, EventType.SCHEDULE,
-                             machine_id=machine_id, is_new=False)
-        if self._restart_scale:
-            delay = float(self._hazard_exp(self._restart_scale))
-            self._push(t + delay, "restart", (instance, incarnation))
+        counters.schedule_events += 1
+        counters.reschedule_events += 1
+        self.events.crash_loop(t, instance, machine_id)
+        restart_scale = self._restart_scale
+        if restart_scale:
+            delay = float(self._hazard_exp(restart_scale))
+            fire = t + delay
+            end = collection.first_running_time + collection.planned_duration
+            cap = end if end < self._horizon else self._horizon
+            if fire < cap:
+                self._push(fire, "restart", (instance, incarnation))
 
     def _on_machine_down(self, t: float, machine: Machine) -> None:
         if not machine.up:

@@ -1,0 +1,181 @@
+"""Pluggable event queues for the discrete-event engine.
+
+:class:`CellSim` schedules every future action as a ``(time, seq, kind,
+payload)`` entry and always pops the entry with the smallest ``(time,
+seq)`` — ``seq`` is a per-queue monotone counter, so ties at one
+timestamp resolve in push order.  Two implementations provide that
+contract:
+
+* :class:`HeapEventQueue` — the classic global binary heap
+  (``heapq``): O(log n) push/pop, no assumptions about event times.
+* :class:`CalendarEventQueue` — a bucketed calendar queue keyed on
+  simulated time: events land in fixed-width time buckets, a cursor
+  sweeps the buckets once from 0 to the horizon, and only the *current*
+  bucket is heap-ordered.  Push is O(1) amortized (an append, or an
+  O(log b) heap push for the small current bucket), pop is O(log b)
+  where b is the bucket occupancy — for the simulator's near-future-
+  dominated event mix (5 s scheduling rounds, 5-minute usage windows,
+  hazard delays) b stays tiny while the global heap would hold hundreds
+  of thousands of entries.
+
+Ordering equivalence: bucket index is a monotone function of time, so
+``t1 < t2`` implies ``bucket(t1) <= bucket(t2)``; within one bucket the
+heap orders by ``(time, seq)``; and equal times always share a bucket.
+Identical push sequences therefore produce *identical* pop sequences
+from both implementations — the property the goldens and the hypothesis
+test in ``tests/test_eventq.py`` pin.
+
+The calendar queue assumes event times are non-decreasing with respect
+to the pop cursor (a discrete-event simulation never schedules into the
+past).  Times at or beyond the horizon are tolerated — they land in the
+last bucket and still pop in ``(time, seq)`` order — but the simulator
+drops them before they reach the queue (nothing past the horizon is
+ever processed; see ``CellSim._push``).
+
+The module-level default (``"heap"`` unless overridden via
+:func:`set_default_queue`) is what a :class:`~repro.sim.cell.CellConfig`
+with ``queue=None`` resolves to.  The override hook exists for harness
+code (conftest, benches) — nothing inside ``repro.sim`` reads the
+environment (RPR002/RPR008).
+"""
+
+from __future__ import annotations
+
+import itertools
+from heapq import heapify, heappop, heappush
+from typing import List, Optional, Tuple
+
+#: One scheduled event: (time, seq, kind, payload).
+Entry = Tuple[float, int, str, object]
+
+QUEUE_KINDS = ("heap", "calendar")
+
+_DEFAULT_QUEUE = "heap"
+
+#: Calendar bucket width, seconds.  Matched to the event mix's natural
+#: spacing (5 s scheduling rounds, hazards spread over hours): at the
+#: paper-scale week this yields ~75k buckets holding ~15 events each.
+DEFAULT_BUCKET_WIDTH = 8.0
+
+
+def set_default_queue(kind: str) -> None:
+    """Set the queue implementation ``CellConfig(queue=None)`` resolves to."""
+    if kind not in QUEUE_KINDS:
+        raise ValueError(f"unknown event queue {kind!r}; use one of {QUEUE_KINDS}")
+    global _DEFAULT_QUEUE
+    _DEFAULT_QUEUE = kind
+
+
+def get_default_queue() -> str:
+    """The current default queue kind (``"heap"`` unless overridden)."""
+    return _DEFAULT_QUEUE
+
+
+def make_queue(kind: Optional[str], horizon: float):
+    """Build an event queue; ``kind=None`` uses the module default."""
+    resolved = kind if kind is not None else _DEFAULT_QUEUE
+    if resolved == "heap":
+        return HeapEventQueue()
+    if resolved == "calendar":
+        return CalendarEventQueue(horizon)
+    raise ValueError(f"unknown event queue {resolved!r}; use one of {QUEUE_KINDS}")
+
+
+class HeapEventQueue:
+    """The reference implementation: one global binary heap."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: str, payload: object) -> None:
+        heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def pop(self) -> Entry:
+        return heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class CalendarEventQueue:
+    """A bucketed calendar queue over ``[0, horizon)``.
+
+    Buckets are created lazily (``None`` until first touched) and freed
+    once the cursor sweeps past them, so memory tracks the live event
+    population, not the horizon length.
+    """
+
+    __slots__ = ("_width", "_nbuckets", "_buckets", "_cursor", "_count",
+                 "_seq", "_cursor_heaped")
+
+    def __init__(self, horizon: float,
+                 bucket_width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self._width = bucket_width
+        self._nbuckets = max(1, -int(-horizon // bucket_width))
+        self._buckets: List[Optional[List[Entry]]] = [None] * self._nbuckets
+        self._cursor = 0
+        self._count = 0
+        self._seq = itertools.count()
+        #: Whether the cursor bucket has been heapified (it is heap-
+        #: ordered from first pop out of it onward; earlier it is a
+        #: plain append list).
+        self._cursor_heaped = False
+
+    def push(self, time: float, kind: str, payload: object) -> None:
+        b = int(time // self._width)
+        if b >= self._nbuckets:
+            # At/past the horizon: the last bucket still orders these
+            # correctly by (time, seq) — they sort after everything else.
+            b = self._nbuckets - 1
+        if b < self._cursor:
+            # Equal-to-now times always share the cursor bucket (floor is
+            # monotone); anything earlier would be scheduling into the
+            # past, which the simulator never does.  Routing it to the
+            # cursor bucket keeps the queue well-formed regardless.
+            b = self._cursor
+        entry = (time, next(self._seq), kind, payload)
+        bucket = self._buckets[b]
+        if bucket is None:
+            self._buckets[b] = [entry]
+        elif b == self._cursor and self._cursor_heaped:
+            heappush(bucket, entry)
+        else:
+            bucket.append(entry)
+        self._count += 1
+
+    def pop(self) -> Entry:
+        if not self._count:
+            raise IndexError("pop from an empty CalendarEventQueue")
+        buckets = self._buckets
+        cursor = self._cursor
+        bucket = buckets[cursor]
+        if not bucket:
+            # Sweep forward to the next occupied bucket, freeing the
+            # exhausted ones behind the cursor.
+            while not bucket:
+                buckets[cursor] = None
+                cursor += 1
+                bucket = buckets[cursor]
+            self._cursor = cursor
+            self._cursor_heaped = False
+        if not self._cursor_heaped:
+            heapify(bucket)
+            self._cursor_heaped = True
+        self._count -= 1
+        return heappop(bucket)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0

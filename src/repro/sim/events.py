@@ -171,6 +171,34 @@ class EventLog:
             )
         )
 
+    def crash_loop(self, time: float, instance, machine_id: int) -> None:
+        """Record FAIL + SUBMIT + SCHEDULE of one in-place restart.
+
+        The crash-loop churn of figure 9 emits these three records per
+        fire, millions of times per paper-scale run; sharing the field
+        reads across the triple is worth ~2/3 of the constructor cost
+        compared with three :meth:`instance` calls.  The records are
+        byte-identical to that spelling.
+        """
+        collection = instance.collection
+        request = instance.request
+        cid = collection.collection_id
+        index = instance.index
+        priority = collection.priority
+        tier = collection.tier._value_
+        cpu = request.cpu
+        mem = request.mem
+        append = self.instance_events.append
+        append(_tuple_new(InstanceEvent, (
+            time, cid, index, EventType.FAIL, machine_id,
+            priority, tier, cpu, mem, False)))
+        append(_tuple_new(InstanceEvent, (
+            time, cid, index, EventType.SUBMIT, -1,
+            priority, tier, cpu, mem, False)))
+        append(_tuple_new(InstanceEvent, (
+            time, cid, index, EventType.SCHEDULE, machine_id,
+            priority, tier, cpu, mem, False)))
+
     def machine(self, time: float, machine_id: int, event: str,
                 cpu_capacity: float, mem_capacity: float) -> None:
         self.machine_events.append(

@@ -14,6 +14,8 @@ from repro.sim.entities import Instance
 from repro.sim.resources import Resources
 from repro.util.errors import SimulationError
 
+_res = Resources.unchecked
+
 
 class Machine:
     """One node of a cell."""
@@ -93,8 +95,17 @@ class Machine:
                 f"instance {instance.instance_id} already on machine {self.machine_id}"
             )
         self.instances[instance] = None
-        self.allocated = self.allocated + instance.request
-        self._sync_allocated()
+        # Inlined ``allocated + request`` plus the fleet sync: one
+        # Resources construction and no re-reads, same float operations
+        # (and clamping on the remove side) as the operators.
+        alloc = self.allocated
+        request = instance.request
+        cpu = alloc.cpu + request.cpu
+        mem = alloc.mem + request.mem
+        self.allocated = _res(cpu, mem)
+        fleet = self._fleet
+        if fleet is not None:
+            fleet.sync_allocated(self._fleet_index, cpu, mem)
 
     def remove(self, instance: Instance) -> None:
         if instance not in self.instances:
@@ -102,8 +113,15 @@ class Machine:
                 f"instance {instance.instance_id} not on machine {self.machine_id}"
             )
         del self.instances[instance]
-        self.allocated = self.allocated - instance.request
-        self._sync_allocated()
+        alloc = self.allocated
+        request = instance.request
+        # Same tiny-negative-residue clamp as Resources.__sub__.
+        cpu = max(0.0, alloc.cpu - request.cpu)
+        mem = max(0.0, alloc.mem - request.mem)
+        self.allocated = _res(cpu, mem)
+        fleet = self._fleet
+        if fleet is not None:
+            fleet.sync_allocated(self._fleet_index, cpu, mem)
 
     # -- preemption support ----------------------------------------------------------
 

@@ -82,33 +82,20 @@ class PlacementPolicy:
         self._headroom_mem: Optional[np.ndarray] = None
         self._den_cpu: Optional[np.ndarray] = None
         self._den_mem: Optional[np.ndarray] = None
-        self._consts6: Optional[np.ndarray] = None
         # Counter handles bound once: the hot path pays one integer add
         # per placement, not a registry lookup (same budget rule as the
         # cell event loop).
         self._ctr_attempts = obs.counter("sim.placement.attempts")
         self._ctr_full_scans = obs.counter("sim.placement.full_scans")
         self._ctr_preemptions = obs.counter("sim.placement.preemption_searches")
-        # Fixed-size kernel workspace, reused across placements so the
-        # sampled path allocates nothing.  In-place ufuncs on these
-        # buffers compute the same float64 values in the same order as
-        # the allocating spelling — only the destination differs.
-        # Buffers are dimension-major — shape (2, k), one row per
-        # resource dimension — so each per-dimension view the kernel
-        # touches (``fits[0]``, ``free[0]``, the const planes) is
-        # C-contiguous, and every gather is the ``ndarray.take`` method
-        # (the ``np.take`` wrapper pays a Python dispatch through
-        # fromnumeric on every call).
-        k = params.candidates
-        self._req2 = np.empty((2, 1))
-        self._ws_alloc = np.empty((2, k))
-        self._ws_up = np.empty(k, dtype=bool)
-        self._ws_c6 = np.empty((6, k))
-        self._ws_sum = np.empty((2, k))
-        self._ws_fits = np.empty((2, k), dtype=bool)
-        self._ws_nok = np.empty(k, dtype=bool)
-        self._ws_free = np.empty((2, k))
-        self._ws_scores = np.empty(k)
+        # Python-native per-machine constants for the sampled path (one
+        # six-tuple per machine); built alongside the arrays in
+        # _fleet_consts.  With ~12 candidates per placement, a scalar
+        # sweep over plain lists beats the vectorized gather: each numpy
+        # op pays ~1-2 µs of dispatch regardless of width, and the
+        # sampled kernel needed ~15 of them per call.
+        self._py_consts: Optional[List[tuple]] = None
+        self._py_platform: Optional[List[int]] = None
 
     def _fleet_consts(self, fleet: FleetState) -> None:
         """(Re)build the per-fleet constant arrays for ``fleet``.
@@ -126,15 +113,16 @@ class PlacementPolicy:
         self._headroom_mem = fleet.capacity_mem * self.params.overcommit_mem
         self._den_cpu = np.maximum(fleet.capacity_cpu, 1e-9)
         self._den_mem = np.maximum(fleet.capacity_mem, 1e-9)
-        # Packed (6, n) dimension-major form of the same constants —
-        # admission bounds, over-commit headroom, score denominators —
-        # so the sampled path pulls all six planes with one contiguous
-        # ``take(axis=1)`` per placement.
-        self._consts6 = np.stack([
-            self._adm_cpu, self._adm_mem,
-            self._headroom_cpu, self._headroom_mem,
-            self._den_cpu, self._den_mem,
-        ])
+        # The same six constants as one Python tuple per machine, for
+        # the scalar sampled path.  ``tolist`` round-trips float64
+        # exactly (a Python float *is* an IEEE double), so indexing
+        # these tuples yields bit-identical values to the arrays.
+        self._py_consts = list(zip(
+            self._adm_cpu.tolist(), self._adm_mem.tolist(),
+            self._headroom_cpu.tolist(), self._headroom_mem.tolist(),
+            self._den_cpu.tolist(), self._den_mem.tolist(),
+        ))
+        self._py_platform = fleet.platform_code.tolist()
 
     # ------------------------------------------------------------ reference
     # Scalar reference implementations.  The vectorized kernel below is
@@ -241,38 +229,42 @@ class PlacementPolicy:
         if self.params.candidates < n:
             # Sampling with replacement: far cheaper than a permutation
             # draw, and an occasional duplicate candidate is harmless.
-            # Admissibility and scoring are fused here so the candidate
-            # gather happens once; the arithmetic is identical to
-            # _admissible_mask/_score_at (and to the scalar reference).
+            # The candidate sweep is a *scalar* Python loop over the
+            # fleet's list mirrors: at ~12 candidates the per-op numpy
+            # dispatch of a vectorized gather dwarfs the arithmetic.
+            # The float operations (and their order) are identical to
+            # _admissible_mask/_score_at and to the scalar reference —
+            # Python floats are the same IEEE doubles — and "first
+            # strictly-smaller score wins" is exactly the masked argmin
+            # tie-break, so placements are bit-identical to the
+            # vectorized kernel (the equivalence property test holds
+            # all three spellings together).
             idx = self._draw_indices(n, self.params.candidates)
-            alloc = fleet.alloc.take(idx, axis=1, out=self._ws_alloc,
-                                     mode="clip")
-            ok = fleet.up.take(idx, out=self._ws_up, mode="clip")
-            c6 = self._consts6.take(idx, axis=1, out=self._ws_c6, mode="clip")
-            req2 = self._req2
-            req2[0, 0] = request.cpu
-            req2[1, 0] = request.mem
-            total = np.add(alloc, req2, out=self._ws_sum)
-            fits = np.less_equal(total, c6[:2], out=self._ws_fits)
-            ok &= fits[0]
-            ok &= fits[1]
-            if constraint:
-                ok &= fleet.platform_code[idx] == code
-            free = np.subtract(c6[2:4], alloc, out=self._ws_free)
-            free -= req2
-            free /= c6[4:6]
-            scores = np.maximum(free[0], free[1], out=self._ws_scores)
-            # Masked argmin == argmin over the admissible subset: both
-            # return the first admissible candidate with the minimal
-            # score (inf never wins, ties break by order).  Admissible
-            # scores are always finite (den >= 1e-9), so a best score of
-            # inf means no candidate admitted — the same condition the
-            # fallback used to test with ok.any(), one reduction cheaper.
-            np.copyto(scores, np.inf,
-                      where=np.logical_not(ok, out=self._ws_nok))
-            best = int(scores.argmin())
-            if scores[best] < np.inf:
-                return fleet.machines[int(idx[best])]
+            py_alloc = fleet.py_alloc
+            py_up = fleet.py_up
+            consts = self._py_consts
+            platform = self._py_platform
+            req_cpu = request.cpu
+            req_mem = request.mem
+            best_i = -1
+            best_score = float("inf")
+            for i in idx.tolist():
+                if not py_up[i]:
+                    continue
+                a_cpu, a_mem = py_alloc[i]
+                adm_cpu, adm_mem, head_cpu, head_mem, den_cpu, den_mem = consts[i]
+                if a_cpu + req_cpu > adm_cpu or a_mem + req_mem > adm_mem:
+                    continue
+                if constraint and platform[i] != code:
+                    continue
+                free_cpu = (head_cpu - a_cpu - req_cpu) / den_cpu
+                free_mem = (head_mem - a_mem - req_mem) / den_mem
+                score = free_cpu if free_cpu >= free_mem else free_mem
+                if score < best_score:
+                    best_score = score
+                    best_i = i
+            if best_i >= 0:
+                return fleet.machines[best_i]
             sampled = idx
         # Sampled set failed: full scan so feasibility is never missed.
         # The sampled indices were just proven inadmissible, so they are
@@ -358,7 +350,9 @@ class PendingQueue:
         self._size = 0
 
     def push(self, instance: Instance) -> None:
-        rank = instance.tier.rank
+        # .collection.tier directly: Instance.tier is a delegating
+        # property, and this is the queue's per-requeue hot path.
+        rank = instance.collection.tier.rank
         bucket = self._buckets.get(rank)
         if bucket is None:
             bucket = self._buckets[rank] = deque()

@@ -69,5 +69,23 @@ class ChunkCache:
             self.stats.evictions += 1
             obs.inc("store.cache.evictions")
 
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the cached tables.
+
+        Sums the numpy buffer sizes of every cached column.  With the
+        mmap read path the numeric buffers are views into the OS page
+        cache, so this is an upper bound on private memory — useful when
+        tuning ``cache_chunks``, where entry *count* says nothing about
+        footprint.  Object (string) columns count pointer storage only.
+        """
+        return sum(column.values.nbytes
+                   for table in self._entries.values()
+                   for name in table.column_names
+                   for column in (table.column(name),))
+
     def clear(self) -> None:
         self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (f"ChunkCache(entries={len(self._entries)}/{self.capacity}, "
+                f"~{self.nbytes()} bytes, {self.stats})")

@@ -34,10 +34,13 @@ def _coerce(values: Any) -> np.ndarray:
         raise SchemaError(f"columns must be 1-D, got shape {arr.shape}")
     if arr.dtype == bool:
         return arr
+    # copy=False keeps an already-int64/float64 array as-is — in
+    # particular the store's zero-copy mmap views (read-only on purpose;
+    # columns are immutable-by-convention anyway).
     if np.issubdtype(arr.dtype, np.integer):
-        return arr.astype(np.int64)
+        return arr.astype(np.int64, copy=False)
     if np.issubdtype(arr.dtype, np.floating):
-        return arr.astype(np.float64)
+        return arr.astype(np.float64, copy=False)
     # Everything else (strings, mixed python objects) is stored as objects;
     # require all elements to be strings for predictable semantics.
     out = np.empty(len(arr), dtype=object)
